@@ -1,0 +1,78 @@
+// Ablation: BT partition enforcement flavors.
+//
+//   mask-guided  — contiguous arbitrary-size masks, tree traversal forced
+//                  toward the only populated subtree (library default).
+//   strict+round — paper-faithful up/down force vectors: MinMisses decisions
+//                  rounded to aligned power-of-two blocks.
+//   strict+tree  — force vectors with the tree-restricted MinMisses DP, which
+//                  optimizes within the power-of-two class directly.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+
+using namespace plrupart;
+using namespace plrupart::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto opt = RunOptions::from_cli(cli);
+  const bool quick = cli.has("--quick");
+
+  struct Mode {
+    std::string name;
+    bool strict;
+    core::PolicyKind policy;
+  };
+  const std::vector<Mode> modes{
+      {"mask-guided", false, core::PolicyKind::kMinMissesOptimal},
+      {"strict+round", true, core::PolicyKind::kMinMissesOptimal},
+      {"strict+tree", true, core::PolicyKind::kMinMissesTree},
+  };
+
+  const std::vector<std::uint32_t> core_counts =
+      quick ? std::vector<std::uint32_t>{2} : std::vector<std::uint32_t>{2, 4, 8};
+
+  std::printf("=== Ablation: BT enforcement expressiveness (M-BT variants) ===\n");
+  std::printf("(geomean throughput relative to mask-guided, per core count)\n\n");
+
+  std::optional<std::ofstream> csv_file;
+  std::optional<CsvWriter> csv;
+  if (const auto path = cli.value("--csv")) {
+    csv_file.emplace(*path);
+    csv.emplace(*csv_file, std::vector<std::string>{"cores", "mode", "rel_throughput"});
+  }
+
+  std::printf("%-7s %-14s %16s\n", "cores", "mode", "rel.throughput");
+  for (const auto cores : core_counts) {
+    auto ws = maybe_quick(workloads::workloads_for_threads(cores), quick);
+
+    std::vector<double> thr(ws.size() * modes.size());
+    parallel_for(thr.size(), [&](std::size_t idx) {
+      const auto& w = ws[idx / modes.size()];
+      const auto& mode = modes[idx % modes.size()];
+      const auto r = run_workload(w, "M-BT", opt, [&](core::CpaConfig& cfg) {
+        cfg.bt_strict_pow2 = mode.strict;
+        cfg.policy = mode.policy;
+      });
+      thr[idx] = r.throughput();
+    });
+
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      GeoMean g;
+      for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+        g.add(thr[wi * modes.size() + m] / thr[wi * modes.size() + 0]);
+      }
+      std::printf("%-7u %-14s %16.4f\n", cores, modes[m].name.c_str(), g.value());
+      if (csv) csv->row_of(cores, modes[m].name, g.value());
+    }
+  }
+
+  std::printf("\nexpectation: strict vector enforcement pays for power-of-two\n"
+              "rounding, most visibly at higher core counts; the tree DP recovers\n"
+              "part of that loss within the same hardware.\n");
+  return 0;
+}

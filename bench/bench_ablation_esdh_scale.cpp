@@ -1,0 +1,57 @@
+// Ablation: NRU eSDH scaling factor S swept beyond the paper's three points
+// (1.0 / 0.75 / 0.5). The paper argues S=1.0 overestimates stack distances
+// and S=0.5 underestimates, making 0.75 the sweet spot; this bench maps the
+// whole curve.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+
+using namespace plrupart;
+using namespace plrupart::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto opt = RunOptions::from_cli(cli);
+  const bool quick = cli.has("--quick");
+
+  const std::vector<double> scales{0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0};
+  const auto ws = maybe_quick(workloads::workloads_2t(), quick, 6);
+
+  std::printf("=== Ablation: NRU eSDH scaling factor sweep (2-core, M-*N) ===\n");
+  std::printf("(geomean throughput relative to the M-L LRU partitioned cache)\n\n");
+
+  // Baseline runs (M-L) once per workload.
+  std::vector<double> baseline(ws.size());
+  parallel_for(ws.size(), [&](std::size_t wi) {
+    baseline[wi] = run_workload(ws[wi], "M-L", opt).throughput();
+  });
+
+  std::optional<std::ofstream> csv_file;
+  std::optional<CsvWriter> csv;
+  if (const auto path = cli.value("--csv")) {
+    csv_file.emplace(*path);
+    csv.emplace(*csv_file, std::vector<std::string>{"scale", "rel_throughput"});
+  }
+
+  std::printf("%-8s %16s\n", "S", "rel.throughput");
+  std::vector<double> ratios(ws.size());
+  for (const double s : scales) {
+    parallel_for(ws.size(), [&](std::size_t wi) {
+      const auto r = run_workload(ws[wi], "M-1.0N", opt, [&](core::CpaConfig& cfg) {
+        cfg.esdh_scale = s;
+      });
+      ratios[wi] = r.throughput() / baseline[wi];
+    });
+    GeoMean g;
+    for (const double r : ratios) g.add(r);
+    std::printf("%-8.3f %16.4f\n", s, g.value());
+    if (csv) csv->row_of(s, g.value());
+  }
+
+  std::printf("\npaper: S=0.75 presents the best results among {1.0, 0.75, 0.5}.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: ATD set-sampling ratio. The paper adopts 1-in-32 from [22]
+// (3.25KB per core); this bench sweeps the ratio and reports both the
+// performance of the resulting CPA and the profiling storage it costs.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "power/complexity.hpp"
+
+using namespace plrupart;
+using namespace plrupart::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  auto opt = RunOptions::from_cli(cli);
+  const bool quick = cli.has("--quick");
+
+  const std::vector<std::uint32_t> ratios{1, 4, 8, 16, 32, 64, 128};
+  const auto ws = maybe_quick(workloads::workloads_2t(), quick, 6);
+
+  std::printf("=== Ablation: ATD set-sampling ratio (2-core, M-L) ===\n");
+  std::printf("(geomean throughput relative to ratio 1 = full profiling)\n\n");
+
+  const auto params = power::ComplexityParams::from_geometry(opt.l2, 2, 47);
+
+  // Full-profiling baseline.
+  std::vector<double> baseline(ws.size());
+  {
+    auto full = opt;
+    full.sampling_ratio = 1;
+    parallel_for(ws.size(), [&](std::size_t wi) {
+      baseline[wi] = run_workload(ws[wi], "M-L", full).throughput();
+    });
+  }
+
+  std::optional<std::ofstream> csv_file;
+  std::optional<CsvWriter> csv;
+  if (const auto path = cli.value("--csv")) {
+    csv_file.emplace(*path);
+    csv.emplace(*csv_file,
+                std::vector<std::string>{"ratio", "rel_throughput", "atd_kib_per_core"});
+  }
+
+  std::printf("%-8s %16s %20s\n", "1-in-N", "rel.throughput", "ATD KiB per core");
+  std::vector<double> rel(ws.size());
+  for (const auto ratio : ratios) {
+    auto o = opt;
+    o.sampling_ratio = ratio;
+    parallel_for(ws.size(), [&](std::size_t wi) {
+      rel[wi] = run_workload(ws[wi], "M-L", o).throughput() / baseline[wi];
+    });
+    GeoMean g;
+    for (const double r : rel) g.add(r);
+    const auto bits = power::atd_storage_bits(cache::ReplacementKind::kLru, params, ratio);
+    const double kib = static_cast<double>(bits) / 8.0 / 1024.0;
+    std::printf("%-8u %16.4f %20.3f\n", ratio, g.value(), kib);
+    if (csv) csv->row_of(ratio, g.value(), kib);
+  }
+
+  std::printf("\npaper setting: 1-in-32 (3.25 KiB per core under LRU).\n");
+  return 0;
+}

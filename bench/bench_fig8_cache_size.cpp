@@ -1,0 +1,82 @@
+// Figure 8 reproduction: throughput of the dynamic CPA relative to the
+// NON-partitioned cache using the same replacement policy, per two-thread
+// workload, for L2 sizes 512KB / 1MB / 2MB.
+//
+//   (a) M-L     vs NOPART-L   — paper averages: +8.0% / +2.4% / +0.2%
+//   (b) M-0.75N vs NOPART-N   — paper: <= ~2% at every size
+//   (c) M-BT    vs NOPART-BT  — paper: +8.1% / +4.7% / +0.5%
+#include <cstdio>
+#include <fstream>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+
+using namespace plrupart;
+using namespace plrupart::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto base_opt = RunOptions::from_cli(cli);
+  const bool quick = cli.has("--quick");
+  const bool per_workload = !cli.has("--summary-only");
+
+  const std::vector<std::uint64_t> sizes{512 * 1024, 1024 * 1024, 2048 * 1024};
+  const std::vector<std::pair<std::string, std::string>> pairs{
+      {"M-L", "NOPART-L"}, {"M-0.75N", "NOPART-N"}, {"M-BT", "NOPART-BT"}};
+
+  const auto ws = maybe_quick(workloads::workloads_2t(), quick, 6);
+
+  std::printf("=== Figure 8: partitioned vs non-partitioned throughput, 2-core CMP ===\n");
+  std::printf("(relative throughput per workload; L2 = 512KB / 1MB / 2MB, 16-way)\n\n");
+
+  std::optional<std::ofstream> csv_file;
+  std::optional<CsvWriter> csv;
+  if (const auto path = cli.value("--csv")) {
+    csv_file.emplace(*path);
+    csv.emplace(*csv_file, std::vector<std::string>{"scheme", "workload", "l2_kb",
+                                                    "rel_throughput"});
+  }
+
+  for (const auto& [part_cfg, nopart_cfg] : pairs) {
+    std::printf("--- %s vs %s ---\n", part_cfg.c_str(), nopart_cfg.c_str());
+    std::printf("%-28s", "workload");
+    for (const auto s : sizes)
+      std::printf(" %8lluKB", static_cast<unsigned long long>(s / 1024));
+    std::printf("\n");
+
+    // All (workload, size, partitioned?) runs in parallel.
+    std::vector<double> ratio(ws.size() * sizes.size());
+    parallel_for(ratio.size(), [&](std::size_t idx) {
+      const auto& w = ws[idx / sizes.size()];
+      const auto opt = base_opt.with_l2_bytes(sizes[idx % sizes.size()]);
+      const double part = run_workload(w, part_cfg, opt).throughput();
+      const double nopart = run_workload(w, nopart_cfg, opt).throughput();
+      ratio[idx] = part / nopart;
+    });
+
+    std::vector<GeoMean> avg(sizes.size());
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      if (per_workload) {
+        std::printf("%-28s",
+                    (ws[wi].id + " (" + ws[wi].benchmarks[0] + "+" + ws[wi].benchmarks[1] + ")")
+                        .c_str());
+      }
+      for (std::size_t si = 0; si < sizes.size(); ++si) {
+        const double r = ratio[wi * sizes.size() + si];
+        avg[si].add(r);
+        if (per_workload) std::printf(" %10.3f", r);
+        if (csv) csv->row_of(part_cfg, ws[wi].id, sizes[si] / 1024, r);
+      }
+      if (per_workload) std::printf("\n");
+    }
+    std::printf("%-28s", "AVG (geomean)");
+    for (auto& a : avg) std::printf(" %10.3f", a.value());
+    std::printf("\n\n");
+  }
+
+  std::printf("paper averages: LRU +8.0/+2.4/+0.2%%; NRU <= ~2%% everywhere;\n"
+              "                BT +8.1/+4.7/+0.5%% at 512KB/1MB/2MB.\n");
+  return 0;
+}

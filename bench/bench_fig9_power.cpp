@@ -1,0 +1,136 @@
+// Figure 9 reproduction: power and energy of the Fig. 7 configurations.
+//
+//   (a) total power and energy (CPI x Power) relative to C-L, 2/4/8 cores;
+//   (b) per-component power breakdown for the 2-core CMP.
+//
+// Paper reference points: power/energy track the performance numbers (misses
+// drive off-chip accesses, each costing 150x an L2 access); the profiling
+// logic never exceeds 0.3% of total power.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "power/power_model.hpp"
+
+using namespace plrupart;
+using namespace plrupart::bench;
+
+namespace {
+
+struct PowerResult {
+  power::PowerBreakdown breakdown;
+  double energy = 0.0;
+};
+
+PowerResult evaluate_run(const sim::SimResult& r, const std::string& acronym,
+                         const RunOptions& opt, std::uint32_t cores) {
+  const auto cfg = core::CpaConfig::from_acronym(acronym, cores, opt.l2);
+  power::PowerModel model(power::PowerParams{}, opt.l2, cfg.replacement,
+                          cfg.partitioned(), cores);
+  power::ActivityCounters a;
+  a.instructions = r.total_instructions();
+  a.l2_accesses = r.total_l2_accesses();
+  a.l2_misses = r.total_l2_misses();
+  a.wall_cycles = r.wall_cycles;
+  a.cores = cores;
+  a.atds = cfg.partitioned() ? cores : 0;
+  a.sampling_ratio = opt.sampling_ratio;
+  PowerResult out;
+  out.breakdown = model.evaluate(a);
+  out.energy = out.breakdown.energy_metric(power::PowerModel::aggregate_cpi(a));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto opt = RunOptions::from_cli(cli);
+  const bool quick = cli.has("--quick");
+
+  const std::vector<std::uint32_t> core_counts =
+      quick ? std::vector<std::uint32_t>{2} : std::vector<std::uint32_t>{2, 4, 8};
+  const std::vector<std::string> configs{"C-L",     "M-L",    "M-1.0N",
+                                         "M-0.75N", "M-0.5N", "M-BT"};
+
+  std::printf("=== Figure 9(a): relative power and energy (CPI x Power) vs C-L ===\n\n");
+  std::printf("%-7s %-11s %12s %12s\n", "cores", "config", "rel.power", "rel.energy");
+
+  std::optional<std::ofstream> csv_file;
+  std::optional<CsvWriter> csv;
+  if (const auto path = cli.value("--csv")) {
+    csv_file.emplace(*path);
+    csv.emplace(*csv_file,
+                std::vector<std::string>{"cores", "config", "rel_power", "rel_energy",
+                                         "cores_w", "l2_w", "repl_w", "prof_w", "mem_w"});
+  }
+
+  for (const auto cores : core_counts) {
+    auto ws = maybe_quick(workloads::workloads_for_threads(cores), quick);
+
+    std::vector<PowerResult> results(ws.size() * configs.size());
+    parallel_for(results.size(), [&](std::size_t idx) {
+      const auto& w = ws[idx / configs.size()];
+      const auto& acr = configs[idx % configs.size()];
+      results[idx] = evaluate_run(run_workload(w, acr, opt), acr, opt, cores);
+    });
+
+    // Figure 9(b) companion: average component breakdown at 2 cores.
+    std::vector<power::PowerBreakdown> avg_breakdown(configs.size());
+
+    // Paper-style aggregation: relative value of the workload-averaged
+    // power/energy against the C-L average.
+    for (std::size_t cfg = 0; cfg < configs.size(); ++cfg) {
+      double power_sum = 0.0, energy_sum = 0.0, base_power = 0.0, base_energy = 0.0;
+      power::PowerBreakdown sum;
+      for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+        const auto& base = results[wi * configs.size() + 0];
+        const auto& mine = results[wi * configs.size() + cfg];
+        power_sum += mine.breakdown.total_w();
+        energy_sum += mine.energy;
+        base_power += base.breakdown.total_w();
+        base_energy += base.energy;
+        sum.cores_w += mine.breakdown.cores_w;
+        sum.l2_w += mine.breakdown.l2_w;
+        sum.replacement_w += mine.breakdown.replacement_w;
+        sum.profiling_w += mine.breakdown.profiling_w;
+        sum.memory_w += mine.breakdown.memory_w;
+      }
+      const auto n = static_cast<double>(ws.size());
+      avg_breakdown[cfg] = power::PowerBreakdown{.cores_w = sum.cores_w / n,
+                                                 .l2_w = sum.l2_w / n,
+                                                 .replacement_w = sum.replacement_w / n,
+                                                 .profiling_w = sum.profiling_w / n,
+                                                 .memory_w = sum.memory_w / n};
+      const double rel_power = power_sum / base_power;
+      const double rel_energy = energy_sum / base_energy;
+      std::printf("%-7u %-11s %12.4f %12.4f\n", cores, configs[cfg].c_str(), rel_power,
+                  rel_energy);
+      if (csv) {
+        const auto& b = avg_breakdown[cfg];
+        csv->row_of(cores, configs[cfg], rel_power, rel_energy, b.cores_w, b.l2_w,
+                    b.replacement_w, b.profiling_w, b.memory_w);
+      }
+    }
+
+    if (cores == 2) {
+      std::printf("\n=== Figure 9(b): component power breakdown, 2-core CMP (W) ===\n\n");
+      std::printf("%-11s %10s %10s %12s %12s %10s %12s\n", "config", "cores", "L2",
+                  "replacement", "profiling", "memory", "prof.share");
+      for (std::size_t cfg = 0; cfg < configs.size(); ++cfg) {
+        const auto& b = avg_breakdown[cfg];
+        std::printf("%-11s %10.3f %10.3f %12.5f %12.5f %10.3f %11.3f%%\n",
+                    configs[cfg].c_str(), b.cores_w, b.l2_w, b.replacement_w,
+                    b.profiling_w, b.memory_w, 100.0 * b.profiling_w / b.total_w());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("paper: relative power/energy mirror the performance ordering; the\n"
+              "       profiling logic stays below 0.3%% of total power.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks: per-access cost of the replacement-policy
+// state machines (the software analogue of Table I(b)'s update costs).
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "cache/replacement.hpp"
+#include "common/rng.hpp"
+
+using namespace plrupart;
+using cache::Geometry;
+using cache::ReplacementKind;
+
+namespace {
+
+Geometry bench_geo(std::uint32_t ways) {
+  return Geometry{.size_bytes = 1024ULL * ways * 128, .associativity = ways,
+                  .line_bytes = 128};
+}
+
+ReplacementKind kind_of(std::int64_t i) {
+  switch (i) {
+    case 0:
+      return ReplacementKind::kLru;
+    case 1:
+      return ReplacementKind::kNru;
+    case 2:
+      return ReplacementKind::kTreePlru;
+    default:
+      return ReplacementKind::kRandom;
+  }
+}
+
+void BM_PolicyHitUpdate(benchmark::State& state) {
+  const auto geo = bench_geo(static_cast<std::uint32_t>(state.range(1)));
+  const auto policy = cache::make_policy(kind_of(state.range(0)), geo);
+  Rng rng(1);
+  std::uint64_t set = 0;
+  std::uint32_t way = 0;
+  for (auto _ : state) {
+    policy->on_hit(set, way, policy->all_ways());
+    set = (set + 1) & (geo.sets() - 1);
+    way = static_cast<std::uint32_t>(rng.next_below(geo.associativity));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(to_string(kind_of(state.range(0))) + "/" +
+                 std::to_string(state.range(1)) + "way");
+}
+
+void BM_PolicyVictimSelection(benchmark::State& state) {
+  const auto geo = bench_geo(static_cast<std::uint32_t>(state.range(1)));
+  const auto policy = cache::make_policy(kind_of(state.range(0)), geo);
+  // Realistic state: a warm cache with mixed recency.
+  Rng warm(7);
+  for (int i = 0; i < 100000; ++i) {
+    policy->on_hit(warm.next_below(geo.sets()),
+                   static_cast<std::uint32_t>(warm.next_below(geo.associativity)),
+                   policy->all_ways());
+  }
+  std::uint64_t set = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->choose_victim(set, policy->all_ways()));
+    set = (set + 1) & (geo.sets() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(to_string(kind_of(state.range(0))) + "/" +
+                 std::to_string(state.range(1)) + "way");
+}
+
+void BM_PolicyMaskedVictim(benchmark::State& state) {
+  const auto geo = bench_geo(16);
+  const auto policy = cache::make_policy(kind_of(state.range(0)), geo);
+  const WayMask mask = way_range_mask(4, 4);  // a 4-way partition
+  std::uint64_t set = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->choose_victim(set, mask));
+    set = (set + 1) & (geo.sets() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(to_string(kind_of(state.range(0))));
+}
+
+void BM_CacheAccessThroughput(benchmark::State& state) {
+  const auto geo = cache::paper_l2_geometry();
+  cache::SetAssocCache c(geo, kind_of(state.range(0)), 2,
+                         cache::EnforcementMode::kWayMasks);
+  c.set_way_mask(0, way_range_mask(0, 8));
+  c.set_way_mask(1, way_range_mask(8, 8));
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto core = static_cast<cache::CoreId>(rng.next_below(2));
+    benchmark::DoNotOptimize(c.access(core, rng.next_below(64 * 1024 * 1024), false));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(to_string(kind_of(state.range(0))));
+}
+
+}  // namespace
+
+BENCHMARK(BM_PolicyHitUpdate)
+    ->ArgsProduct({{0, 1, 2, 3}, {4, 16, 64}})
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_PolicyVictimSelection)
+    ->ArgsProduct({{0, 1, 2, 3}, {4, 16, 64}})
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_PolicyMaskedVictim)->DenseRange(0, 3)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_CacheAccessThroughput)->DenseRange(0, 3)->Unit(benchmark::kNanosecond);
+
+BENCHMARK_MAIN();

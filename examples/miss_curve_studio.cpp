@@ -1,0 +1,166 @@
+// miss_curve_studio: inspect what the profiling logic sees.
+//
+// Runs one Table II workload (or an ad-hoc benchmark list) under a chosen
+// L2 configuration and dumps, per core: the final (e)SDH registers, the miss
+// curve, the partition history, and the achieved performance. The tool of
+// choice for understanding why MinMisses decided what it decided.
+//
+// Usage:
+//   miss_curve_studio [--workload 2T_04 | --benchmarks vpr,art]
+//                     [--config M-0.75N] [--instr 2000000] [--l2-kb 2048]
+//                     [--interval 500000] [--sampling 32] [--csv curves.csv]
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "sim/cmp_simulator.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/workload_table.hpp"
+
+using namespace plrupart;
+
+namespace {
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+
+  std::vector<std::string> names;
+  if (const auto wl = cli.value("--workload")) {
+    for (const auto& w : workloads::all_workloads()) {
+      if (w.id == *wl) names = w.benchmarks;
+    }
+    if (names.empty()) {
+      std::fprintf(stderr, "unknown workload id %s\n", wl->c_str());
+      return 1;
+    }
+  } else {
+    names = split_names(cli.get_string("--benchmarks", "vpr,art"));
+  }
+  const auto config = cli.get_string("--config", "M-L");
+  const auto l2_kb = static_cast<std::uint64_t>(cli.get_int("--l2-kb", 2048));
+
+  sim::SimConfig cfg;
+  cfg.hierarchy.l1d =
+      cache::Geometry{.size_bytes = 32 * 1024, .associativity = 2, .line_bytes = 128};
+  cfg.hierarchy.l2 = core::CpaConfig::from_acronym(
+      config, static_cast<std::uint32_t>(names.size()),
+      cache::Geometry{.size_bytes = l2_kb * 1024, .associativity = 16, .line_bytes = 128});
+  cfg.hierarchy.l2.interval_cycles =
+      static_cast<std::uint64_t>(cli.get_int("--interval", 500'000));
+  cfg.hierarchy.l2.sampling_ratio =
+      static_cast<std::uint32_t>(cli.get_int("--sampling", 32));
+  cfg.instr_limit = static_cast<std::uint64_t>(cli.get_int("--instr", 2'000'000));
+  cfg.warmup_instr = static_cast<std::uint64_t>(
+      cli.get_int("--warmup", static_cast<std::int64_t>(cfg.instr_limit / 2)));
+
+  std::vector<std::unique_ptr<sim::TraceSource>> traces;
+  for (std::uint32_t i = 0; i < names.size(); ++i) {
+    const auto& prof = workloads::benchmark(names[i]);
+    cfg.cores.push_back(prof.core);
+    traces.push_back(workloads::make_trace(prof, i, 42));
+  }
+
+  sim::CmpSimulator sim(std::move(cfg), std::move(traces));
+  const auto result = sim.run();
+  const auto& l2 = sim.hierarchy().l2();
+
+  std::printf("=== %s on %s, %lluKB 16-way shared L2 ===\n\n", config.c_str(),
+              [&] {
+                std::string s;
+                for (const auto& n : names) s += n + " ";
+                return s;
+              }()
+                  .c_str(),
+              static_cast<unsigned long long>(l2_kb));
+
+  std::printf("%-4s %-10s %10s %12s %12s %12s %10s\n", "core", "bench", "IPC",
+              "L1 misses", "L2 accesses", "L2 misses", "L2 miss%");
+  for (std::size_t i = 0; i < result.threads.size(); ++i) {
+    const auto& t = result.threads[i];
+    std::printf("%-4zu %-10s %10.3f %12llu %12llu %12llu %9.1f%%\n", i,
+                t.benchmark.c_str(), t.ipc,
+                static_cast<unsigned long long>(t.mem.l1_misses),
+                static_cast<unsigned long long>(t.mem.l2_accesses),
+                static_cast<unsigned long long>(t.mem.l2_misses),
+                t.mem.l2_accesses
+                    ? 100.0 * static_cast<double>(t.mem.l2_misses) /
+                          static_cast<double>(t.mem.l2_accesses)
+                    : 0.0);
+  }
+  std::printf("throughput: %.3f   wall cycles: %.0f   repartitions: %llu\n\n",
+              result.throughput(), result.wall_cycles,
+              static_cast<unsigned long long>(result.repartitions));
+
+  if (!l2.config().partitioned()) {
+    std::printf("(unpartitioned configuration: no profiling logic to dump)\n");
+    return 0;
+  }
+
+  const std::uint32_t assoc = l2.config().geometry.associativity;
+  std::printf("--- final (e)SDH registers (r1..r%u | miss register) ---\n", assoc);
+  for (std::uint32_t c = 0; c < names.size(); ++c) {
+    const auto& sdh = l2.profiler(c).sdh();
+    std::printf("core %u [%s]: ", c, l2.profiler(c).name().c_str());
+    for (std::uint32_t r = 1; r <= assoc; ++r)
+      std::printf("%llu ", static_cast<unsigned long long>(sdh.reg(r)));
+    std::printf("| %llu\n", static_cast<unsigned long long>(sdh.reg(assoc + 1)));
+  }
+
+  std::printf("\n--- miss curves (misses at w ways, profiled units) ---\n");
+  std::printf("%-6s", "ways");
+  for (std::uint32_t c = 0; c < names.size(); ++c) std::printf(" %10s", names[c].c_str());
+  std::printf("\n");
+  std::vector<core::MissCurve> curves;
+  for (std::uint32_t c = 0; c < names.size(); ++c) curves.push_back(l2.profiler(c).curve());
+  for (std::uint32_t w = 0; w <= assoc; ++w) {
+    std::printf("%-6u", w);
+    for (const auto& curve : curves) std::printf(" %10.0f", curve.misses(w));
+    std::printf("\n");
+  }
+
+  const auto* ctrl = l2.controller();
+  const auto& hist = ctrl->history();
+  std::printf("\n--- partition history (%zu intervals, run-length encoded) ---\n",
+              hist.size());
+  std::size_t i = 0;
+  std::size_t changes = 0;
+  while (i < hist.size()) {
+    std::size_t j = i;
+    while (j < hist.size() && hist[j].partition == hist[i].partition) ++j;
+    std::printf("x%-4zu [", j - i);
+    for (const auto w : hist[i].partition) std::printf(" %u", w);
+    std::printf(" ]\n");
+    if (i > 0) ++changes;
+    i = j;
+  }
+  std::printf("partition changes: %zu\n", changes);
+
+  if (const auto path = cli.value("--csv")) {
+    std::ofstream out(*path);
+    CsvWriter csv(out, {"core", "benchmark", "ways", "misses"});
+    for (std::uint32_t c = 0; c < names.size(); ++c) {
+      for (std::uint32_t w = 0; w <= assoc; ++w) {
+        csv.row_of(c, names[c], w, curves[c].misses(w));
+      }
+    }
+    std::printf("\ncurves written to %s\n", path->c_str());
+  }
+  return 0;
+}

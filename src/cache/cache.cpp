@@ -1,0 +1,223 @@
+#include "cache/cache.hpp"
+
+namespace plrupart::cache {
+
+std::string to_string(EnforcementMode m) {
+  switch (m) {
+    case EnforcementMode::kNone:
+      return "none";
+    case EnforcementMode::kWayMasks:
+      return "way-masks";
+    case EnforcementMode::kOwnerCounters:
+      return "owner-counters";
+  }
+  return "?";
+}
+
+SetAssocCache::SetAssocCache(const Geometry& geo, ReplacementKind repl,
+                             std::uint32_t num_cores, EnforcementMode enforcement,
+                             std::uint64_t seed)
+    : geo_(geo),
+      num_cores_(num_cores),
+      enforcement_(enforcement),
+      policy_(make_policy(repl, geo, seed)),
+      lines_(geo.sets() * geo.associativity),
+      masks_(num_cores, full_way_mask(geo.associativity)),
+      quotas_(num_cores, geo.associativity),
+      owner_counts_(enforcement == EnforcementMode::kOwnerCounters
+                        ? geo.sets() * num_cores
+                        : 0,
+                    0),
+      stats_(num_cores) {
+  PLRUPART_ASSERT(num_cores >= 1);
+  geo_.validate();
+}
+
+void SetAssocCache::reset() {
+  for (auto& l : lines_) l = Line{};
+  for (auto& c : owner_counts_) c = 0;
+  policy_->reset();
+  stats_.reset();
+}
+
+WayMask SetAssocCache::eviction_mask(std::uint64_t set, CoreId core) const {
+  const WayMask all = full_way_mask(geo_.associativity);
+  switch (enforcement_) {
+    case EnforcementMode::kNone:
+      return all;
+    case EnforcementMode::kWayMasks:
+      return masks_[core];
+    case EnforcementMode::kOwnerCounters: {
+      // Under quota: steal from other cores' lines; at/over quota: evict own.
+      WayMask own = 0;
+      WayMask others = 0;
+      for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
+        const Line& l = line(set, w);
+        if (!l.valid) continue;  // invalid ways are filled before eviction
+        if (l.owner == core)
+          own |= (WayMask{1} << w);
+        else
+          others |= (WayMask{1} << w);
+      }
+      const bool under_quota = owner_count(set, core) < quotas_[core];
+      if (under_quota && others != 0) return others;
+      if (own != 0) return own;
+      // Degenerate set states (core owns everything, or owns nothing while at
+      // quota zero lines): fall back to any valid line.
+      return (own | others) != 0 ? (own | others) : all;
+    }
+  }
+  return all;
+}
+
+AccessOutcome SetAssocCache::access(CoreId core, Addr addr, bool write) {
+  PLRUPART_ASSERT(core < num_cores_);
+  const Addr la = geo_.line_addr(addr);
+  const std::uint64_t set = geo_.set_index(la);
+  const std::uint64_t tag = geo_.tag(la);
+
+  CoreCacheStats& cs = stats_.per_core[core];
+  ++cs.accesses;
+  if (write) ++cs.writes;
+
+  // The scope the replacement policy sees (NRU saturation resets, fills): the
+  // core's way mask under mask enforcement, the whole set otherwise. Owner
+  // counters derive their victim scope from line ownership, not from here.
+  const WayMask policy_scope = enforcement_ == EnforcementMode::kWayMasks
+                                   ? masks_[core]
+                                   : full_way_mask(geo_.associativity);
+  AccessOutcome out;
+
+  // Hit path: a core may hit in any way, regardless of partitioning.
+  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
+    Line& l = line(set, w);
+    if (l.valid && l.tag == tag) {
+      ++cs.hits;
+      policy_->on_hit(set, w, policy_scope);
+      out.hit = true;
+      out.way = w;
+      return out;
+    }
+  }
+
+  // Miss path.
+  ++cs.misses;
+
+  // Fill an invalid way first. Invalid lines belong to nobody, so the scan is
+  // scoped by the way mask (mask enforcement confines a core's fills) but not
+  // by ownership quotas.
+  std::uint32_t victim = geo_.associativity;  // sentinel
+  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
+    if (mask_test(policy_scope, w) && !line(set, w).valid) {
+      victim = w;
+      break;
+    }
+  }
+  if (victim == geo_.associativity) {
+    const WayMask victim_scope = enforcement_ == EnforcementMode::kOwnerCounters
+                                     ? eviction_mask(set, core)
+                                     : policy_scope;
+    victim = policy_->choose_victim(set, victim_scope);
+    PLRUPART_ASSERT_MSG(mask_test(victim_scope, victim),
+                        "victim escaped the enforcement mask");
+  }
+
+  Line& v = line(set, victim);
+  if (v.valid) {
+    out.evicted_valid = true;
+    out.evicted_line = (v.tag << ilog2_exact(geo_.sets())) | set;
+    out.evicted_owner = v.owner;
+    if (v.owner == core)
+      ++cs.self_evictions;
+    else
+      ++cs.cross_evictions;
+    if (enforcement_ == EnforcementMode::kOwnerCounters) {
+      PLRUPART_ASSERT(owner_count(set, v.owner) > 0);
+      --owner_count(set, v.owner);
+    }
+  }
+
+  v.tag = tag;
+  v.owner = core;
+  v.valid = true;
+  if (enforcement_ == EnforcementMode::kOwnerCounters) ++owner_count(set, core);
+
+  policy_->on_fill(set, victim, policy_scope);
+  out.hit = false;
+  out.way = victim;
+  return out;
+}
+
+AccessOutcome SetAssocCache::probe(Addr addr) const {
+  const Addr la = geo_.line_addr(addr);
+  const std::uint64_t set = geo_.set_index(la);
+  const std::uint64_t tag = geo_.tag(la);
+  AccessOutcome out;
+  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
+    const Line& l = line(set, w);
+    if (l.valid && l.tag == tag) {
+      out.hit = true;
+      out.way = w;
+      return out;
+    }
+  }
+  return out;
+}
+
+bool SetAssocCache::invalidate(Addr addr) {
+  const Addr la = geo_.line_addr(addr);
+  const std::uint64_t set = geo_.set_index(la);
+  const std::uint64_t tag = geo_.tag(la);
+  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
+    Line& l = line(set, w);
+    if (l.valid && l.tag == tag) {
+      l.valid = false;
+      if (enforcement_ == EnforcementMode::kOwnerCounters) {
+        PLRUPART_ASSERT(owner_count(set, l.owner) > 0);
+        --owner_count(set, l.owner);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetAssocCache::set_way_mask(CoreId core, WayMask mask) {
+  PLRUPART_ASSERT(core < num_cores_);
+  PLRUPART_ASSERT_MSG(enforcement_ == EnforcementMode::kWayMasks,
+                      "way masks only apply in kWayMasks mode");
+  mask &= full_way_mask(geo_.associativity);
+  PLRUPART_ASSERT_MSG(mask != 0, "a core needs at least one way");
+  masks_[core] = mask;
+}
+
+WayMask SetAssocCache::way_mask(CoreId core) const {
+  PLRUPART_ASSERT(core < num_cores_);
+  return masks_[core];
+}
+
+void SetAssocCache::set_way_quota(CoreId core, std::uint32_t ways) {
+  PLRUPART_ASSERT(core < num_cores_);
+  PLRUPART_ASSERT_MSG(enforcement_ == EnforcementMode::kOwnerCounters,
+                      "quotas only apply in kOwnerCounters mode");
+  PLRUPART_ASSERT(ways >= 1 && ways <= geo_.associativity);
+  quotas_[core] = ways;
+}
+
+std::uint32_t SetAssocCache::way_quota(CoreId core) const {
+  PLRUPART_ASSERT(core < num_cores_);
+  return quotas_[core];
+}
+
+std::uint32_t SetAssocCache::owned_in_set(std::uint64_t set, CoreId core) const {
+  PLRUPART_ASSERT(core < num_cores_);
+  if (enforcement_ == EnforcementMode::kOwnerCounters) return owner_count(set, core);
+  std::uint32_t n = 0;
+  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
+    const Line& l = line(set, w);
+    if (l.valid && l.owner == core) ++n;
+  }
+  return n;
+}
+
+}  // namespace plrupart::cache

@@ -1,0 +1,120 @@
+// Set-associative cache with pluggable replacement policy and the three
+// partition-enforcement mechanisms discussed in the paper:
+//
+//  * kNone          — no partitioning; every core may evict anywhere.
+//  * kWayMasks      — global per-core replacement masks (paper §II-B.2): a core
+//                     hits anywhere but selects victims only inside its mask.
+//                     This mode also carries the BT up/down-vector enforcement,
+//                     whose vector-steered traversal is equivalent to
+//                     mask-guided traversal on the masks the partitioner emits
+//                     (see TreePlru and core/tree_rounding).
+//  * kOwnerCounters — per-set owner counters (paper §II-B.1, Qureshi-style):
+//                     each line is tagged with its owner core; a core under its
+//                     quota steals the victim from other cores' lines, a core
+//                     at/over quota evicts among its own.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_stats.hpp"
+#include "cache/geometry.hpp"
+#include "cache/replacement.hpp"
+
+namespace plrupart::cache {
+
+enum class EnforcementMode : std::uint8_t {
+  kNone,
+  kWayMasks,
+  kOwnerCounters,
+};
+
+[[nodiscard]] std::string to_string(EnforcementMode m);
+
+/// Result of one cache access, including eviction information the simulator
+/// and the tests use (a writeback model would hook evicted lines here too).
+struct AccessOutcome {
+  bool hit = false;
+  std::uint32_t way = 0;
+  bool evicted_valid = false;
+  Addr evicted_line = 0;
+  CoreId evicted_owner = 0;
+};
+
+class SetAssocCache {
+ public:
+  SetAssocCache(const Geometry& geo, ReplacementKind repl, std::uint32_t num_cores,
+                EnforcementMode enforcement, std::uint64_t seed = 0x5eed);
+
+  /// Perform one access for `core` at byte address `addr`. Misses allocate.
+  AccessOutcome access(CoreId core, Addr addr, bool write = false);
+
+  /// Non-mutating lookup: would this access hit, and in which way?
+  [[nodiscard]] AccessOutcome probe(Addr addr) const;
+
+  /// Drop a line if present (no replacement-state update; mirrors an external
+  /// invalidation message).
+  bool invalidate(Addr addr);
+
+  // --- Partition control -------------------------------------------------
+  /// kWayMasks: set the ways `core` may search for victims (non-empty).
+  void set_way_mask(CoreId core, WayMask mask);
+  [[nodiscard]] WayMask way_mask(CoreId core) const;
+
+  /// kOwnerCounters: set the number of ways `core` is entitled to.
+  void set_way_quota(CoreId core, std::uint32_t ways);
+  [[nodiscard]] std::uint32_t way_quota(CoreId core) const;
+
+  /// Number of lines `core` currently holds in `set` (owner-counter state).
+  [[nodiscard]] std::uint32_t owned_in_set(std::uint64_t set, CoreId core) const;
+
+  // --- Introspection ------------------------------------------------------
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geo_; }
+  [[nodiscard]] EnforcementMode enforcement() const noexcept { return enforcement_; }
+  [[nodiscard]] std::uint32_t num_cores() const noexcept { return num_cores_; }
+  [[nodiscard]] ReplacementPolicy& policy() noexcept { return *policy_; }
+  [[nodiscard]] const ReplacementPolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] const CacheStatsBundle& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  /// Clear all contents, replacement state and statistics.
+  void reset();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    CoreId owner = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] Line& line(std::uint64_t set, std::uint32_t way) {
+    return lines_[set * geo_.associativity + way];
+  }
+  [[nodiscard]] const Line& line(std::uint64_t set, std::uint32_t way) const {
+    return lines_[set * geo_.associativity + way];
+  }
+
+  /// The ways `core` may search for a victim in `set` under the active
+  /// enforcement mode (always non-empty).
+  [[nodiscard]] WayMask eviction_mask(std::uint64_t set, CoreId core) const;
+
+  [[nodiscard]] std::uint32_t& owner_count(std::uint64_t set, CoreId core) {
+    return owner_counts_[set * num_cores_ + core];
+  }
+  [[nodiscard]] std::uint32_t owner_count(std::uint64_t set, CoreId core) const {
+    return owner_counts_[set * num_cores_ + core];
+  }
+
+  Geometry geo_;
+  std::uint32_t num_cores_;
+  EnforcementMode enforcement_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::vector<Line> lines_;
+  std::vector<WayMask> masks_;          // kWayMasks: per-core eviction masks
+  std::vector<std::uint32_t> quotas_;   // kOwnerCounters: per-core way quotas
+  std::vector<std::uint32_t> owner_counts_;  // kOwnerCounters: per set x core
+  CacheStatsBundle stats_;
+};
+
+}  // namespace plrupart::cache

@@ -1,0 +1,44 @@
+// True LRU replacement: each line carries an exact stack position
+// (A * log2(A) bits per set in hardware; see power/complexity.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hpp"
+
+namespace plrupart::cache {
+
+class TrueLru final : public ReplacementPolicy {
+ public:
+  explicit TrueLru(const Geometry& geo);
+
+  [[nodiscard]] ReplacementKind kind() const noexcept override {
+    return ReplacementKind::kLru;
+  }
+
+  void on_hit(std::uint64_t set, std::uint32_t way, WayMask allowed) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, WayMask allowed) override;
+  [[nodiscard]] std::uint32_t choose_victim(std::uint64_t set, WayMask allowed) override;
+  [[nodiscard]] StackEstimate estimate_position(std::uint64_t set,
+                                                std::uint32_t way) const override;
+  void reset() override;
+
+  /// Exact 0-based stack position (0 = MRU, A-1 = LRU) — test/profiler hook.
+  [[nodiscard]] std::uint32_t stack_position(std::uint64_t set, std::uint32_t way) const;
+
+ private:
+  void promote(std::uint64_t set, std::uint32_t way);
+  [[nodiscard]] std::uint8_t& pos(std::uint64_t set, std::uint32_t way) {
+    return pos_[set * ways_ + way];
+  }
+  [[nodiscard]] std::uint8_t pos(std::uint64_t set, std::uint32_t way) const {
+    return pos_[set * ways_ + way];
+  }
+
+  // pos_[set*A + way] = 0-based recency (0 = MRU). Initialized so that way i
+  // starts at position i, matching hardware reset of the LRU bits.
+  std::vector<std::uint8_t> pos_;
+};
+
+}  // namespace plrupart::cache

@@ -1,0 +1,51 @@
+// Not-Recently-Used replacement as implemented in the Sun UltraSPARC T2 L2:
+// one used bit per line, plus a single replacement pointer shared by every set
+// of the cache (which is what makes victim choice behave randomly — the pointer
+// position is uncorrelated with any particular set's history).
+//
+// Semantics (paper §III-A):
+//  * On any access (hit or fill) the line's used bit is set. If that would make
+//    every used bit in the access scope 1, all other scope bits reset to 0.
+//  * On a miss, scan ways circularly from the replacement pointer for a line
+//    with used bit 0, restricted to the enforcement mask; afterwards the
+//    pointer advances one way past the victim.
+//  * Partitioned operation scopes the saturation reset to the accessing core's
+//    allowed ways (∪ the accessed line), which reduces to the base rule when
+//    the mask is full (see DESIGN.md "Interpretation decisions").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hpp"
+
+namespace plrupart::cache {
+
+class Nru final : public ReplacementPolicy {
+ public:
+  explicit Nru(const Geometry& geo);
+
+  [[nodiscard]] ReplacementKind kind() const noexcept override {
+    return ReplacementKind::kNru;
+  }
+
+  void on_hit(std::uint64_t set, std::uint32_t way, WayMask allowed) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, WayMask allowed) override;
+  [[nodiscard]] std::uint32_t choose_victim(std::uint64_t set, WayMask allowed) override;
+  [[nodiscard]] StackEstimate estimate_position(std::uint64_t set,
+                                                std::uint32_t way) const override;
+  void reset() override;
+
+  /// Test/profiler hooks.
+  [[nodiscard]] bool used_bit(std::uint64_t set, std::uint32_t way) const;
+  [[nodiscard]] std::uint32_t used_count(std::uint64_t set) const;
+  [[nodiscard]] std::uint32_t replacement_pointer() const noexcept { return pointer_; }
+
+ private:
+  void mark_used(std::uint64_t set, std::uint32_t way, WayMask allowed);
+
+  std::vector<WayMask> used_;   // one used-bit vector per set
+  std::uint32_t pointer_ = 0;   // cache-global replacement pointer
+};
+
+}  // namespace plrupart::cache

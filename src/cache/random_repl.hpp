@@ -1,0 +1,32 @@
+// Uniform-random replacement: the reference point the paper compares NRU's
+// pointer-driven behavior against ("guarantees a random-like replacement").
+#pragma once
+
+#include <cstdint>
+
+#include "cache/replacement.hpp"
+#include "common/rng.hpp"
+
+namespace plrupart::cache {
+
+class RandomRepl final : public ReplacementPolicy {
+ public:
+  RandomRepl(const Geometry& geo, std::uint64_t seed);
+
+  [[nodiscard]] ReplacementKind kind() const noexcept override {
+    return ReplacementKind::kRandom;
+  }
+
+  void on_hit(std::uint64_t set, std::uint32_t way, WayMask allowed) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, WayMask allowed) override;
+  [[nodiscard]] std::uint32_t choose_victim(std::uint64_t set, WayMask allowed) override;
+  [[nodiscard]] StackEstimate estimate_position(std::uint64_t set,
+                                                std::uint32_t way) const override;
+  void reset() override;
+
+ private:
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+}  // namespace plrupart::cache

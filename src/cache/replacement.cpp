@@ -1,0 +1,46 @@
+#include "cache/replacement.hpp"
+
+#include "cache/lru.hpp"
+#include "cache/nru.hpp"
+#include "cache/random_repl.hpp"
+#include "cache/srrip.hpp"
+#include "cache/tree_plru.hpp"
+
+namespace plrupart::cache {
+
+std::string to_string(ReplacementKind k) {
+  switch (k) {
+    case ReplacementKind::kLru:
+      return "LRU";
+    case ReplacementKind::kNru:
+      return "NRU";
+    case ReplacementKind::kTreePlru:
+      return "BT";
+    case ReplacementKind::kRandom:
+      return "RANDOM";
+    case ReplacementKind::kSrrip:
+      return "SRRIP";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReplacementPolicy> make_policy(ReplacementKind kind, const Geometry& geo,
+                                               std::uint64_t seed) {
+  geo.validate();
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return std::make_unique<TrueLru>(geo);
+    case ReplacementKind::kNru:
+      return std::make_unique<Nru>(geo);
+    case ReplacementKind::kTreePlru:
+      return std::make_unique<TreePlru>(geo);
+    case ReplacementKind::kRandom:
+      return std::make_unique<RandomRepl>(geo, seed);
+    case ReplacementKind::kSrrip:
+      return std::make_unique<Srrip>(geo);
+  }
+  PLRUPART_ASSERT_MSG(false, "unknown replacement kind");
+  return nullptr;
+}
+
+}  // namespace plrupart::cache

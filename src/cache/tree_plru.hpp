@@ -1,0 +1,101 @@
+// Binary-Tree pseudo-LRU (the IBM scheme of the paper / US patent 7,069,390).
+//
+// Each set carries A-1 tree bits laid out as an implicit heap: node 0 is the
+// root, node i has children 2i+1 ("upper" subtree = lower way indices) and
+// 2i+2 ("lower" subtree = higher way indices). A node bit of 1 means the MRU
+// line is in the upper subtree, so victim search descends toward the *other*
+// side: bit 0 -> upper child, bit 1 -> lower child.
+//
+// Partition enforcement (paper Fig. 5) adds per-core up/down force vectors of
+// log2(A) bits each: at tree level l, up[l] overrides the node bit with 0
+// (search the upper subtree), down[l] overrides it with 1. A force-vector pair
+// confines a core to one aligned power-of-two block of ways. The library also
+// provides mask-guided traversal — at each node, if only one subtree
+// intersects the allowed mask, descend there — which is equivalent to the
+// vectors whenever the mask is an aligned power-of-two block (tested), and
+// generalizes them to arbitrary contiguous masks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/replacement.hpp"
+
+namespace plrupart::cache {
+
+/// Per-core force vectors for BT partition enforcement. Bit l (from the root,
+/// l = 0) of `up`/`down` forces traversal at level l. up and down must never
+/// both be set at a level.
+struct ForceVectors {
+  std::uint32_t up = 0;
+  std::uint32_t down = 0;
+
+  [[nodiscard]] bool forces_up(std::uint32_t level) const noexcept {
+    return (up >> level) & 1U;
+  }
+  [[nodiscard]] bool forces_down(std::uint32_t level) const noexcept {
+    return (down >> level) & 1U;
+  }
+
+  friend constexpr bool operator==(const ForceVectors&, const ForceVectors&) = default;
+};
+
+class TreePlru final : public ReplacementPolicy {
+ public:
+  explicit TreePlru(const Geometry& geo);
+
+  [[nodiscard]] ReplacementKind kind() const noexcept override {
+    return ReplacementKind::kTreePlru;
+  }
+
+  void on_hit(std::uint64_t set, std::uint32_t way, WayMask allowed) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, WayMask allowed) override;
+
+  /// Mask-guided traversal (see file comment).
+  [[nodiscard]] std::uint32_t choose_victim(std::uint64_t set, WayMask allowed) override;
+
+  /// Faithful paper enforcement: traversal steered only by the force vectors.
+  [[nodiscard]] std::uint32_t choose_victim_with_vectors(std::uint64_t set,
+                                                         const ForceVectors& force);
+
+  /// Paper §III-B profiling: estimated stack position
+  ///   A − numeric_value(ID(way) XOR path-bits(way)),
+  /// where ID(way) is produced by the way-number decoder (way bits MSB-first).
+  [[nodiscard]] StackEstimate estimate_position(std::uint64_t set,
+                                                std::uint32_t way) const override;
+  void reset() override;
+
+  /// The decoder of paper Fig. 4(c): ID bits for `way`, packed with the root
+  /// level in the most significant of log2(A) bits.
+  [[nodiscard]] std::uint32_t id_bits(std::uint32_t way) const;
+
+  /// Current tree-path bits of `way`, packed root-first (test/profiler hook).
+  [[nodiscard]] std::uint32_t path_bits(std::uint64_t set, std::uint32_t way) const;
+
+  [[nodiscard]] std::uint32_t levels() const noexcept { return levels_; }
+
+  /// Force vectors confining a core to `mask`, when expressible: the mask must
+  /// be one aligned power-of-two block of ways. Returns nullopt otherwise.
+  [[nodiscard]] std::optional<ForceVectors> derive_force_vectors(WayMask mask) const;
+
+  /// The set of ways reachable by vector-steered traversal (the core's block).
+  [[nodiscard]] WayMask reachable_ways(const ForceVectors& force) const;
+
+ private:
+  void promote(std::uint64_t set, std::uint32_t way);
+  [[nodiscard]] bool node_bit(std::uint64_t set, std::uint32_t node) const {
+    return (tree_[set] >> node) & 1ULL;
+  }
+  void set_node_bit(std::uint64_t set, std::uint32_t node, bool v) {
+    if (v)
+      tree_[set] |= (1ULL << node);
+    else
+      tree_[set] &= ~(1ULL << node);
+  }
+
+  std::vector<std::uint64_t> tree_;  // A-1 node bits per set
+  std::uint32_t levels_;
+};
+
+}  // namespace plrupart::cache

@@ -1,0 +1,69 @@
+// CSV emission for benchmark harness output (one file per figure/table).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace plrupart {
+
+/// Streams rows of a fixed-width CSV table. Values containing commas or quotes
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> header) : os_(os), width_(header.size()) {
+    PLRUPART_ASSERT(width_ > 0);
+    write_row_impl(header);
+  }
+
+  void row(const std::vector<std::string>& values) {
+    PLRUPART_ASSERT_MSG(values.size() == width_, "CSV row width mismatch");
+    write_row_impl(values);
+  }
+
+  /// Convenience: stringify arbitrary streamable values into one row.
+  template <typename... Ts>
+  void row_of(const Ts&... vals) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(vals));
+    (cells.push_back(to_cell(vals)), ...);
+    row(cells);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+  }
+
+  static std::string escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  void write_row_impl(const std::vector<std::string>& values) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) os_ << ',';
+      os_ << escape(values[i]);
+    }
+    os_ << '\n';
+  }
+
+  std::ostream& os_;
+  std::size_t width_;
+};
+
+}  // namespace plrupart

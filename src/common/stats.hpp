@@ -1,0 +1,61 @@
+// Streaming statistics helpers (Welford accumulation) for benchmark reporting.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace plrupart {
+
+/// Numerically stable running mean / variance / min / max.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Geometric mean accumulator (relative-performance aggregation).
+class GeoMean {
+ public:
+  void add(double x) {
+    PLRUPART_ASSERT_MSG(x > 0.0, "geometric mean requires positive samples");
+    log_sum_ += std::log(x);
+    ++n_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double value() const noexcept {
+    return n_ ? std::exp(log_sum_ / static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  double log_sum_ = 0.0;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace plrupart

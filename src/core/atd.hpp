@@ -1,0 +1,76 @@
+// Auxiliary Tag Directory (paper §II-A, §III).
+//
+// A per-thread copy of the tag directory with the same associativity as the
+// L2, so the profiling logic observes how the thread would behave running
+// alone. Set sampling (paper: 1 in 32) keeps the area at ~3.25KB per core for
+// the baseline L2: an L2 access probes the ATD only when its set is sampled.
+//
+// The ATD runs its own instance of the cache's replacement policy; the
+// pre-update StackEstimate it reports is exactly what the three profilers
+// (LRU/NRU/BT) consume.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "cache/replacement.hpp"
+
+namespace plrupart::core {
+
+/// What the ATD observed for one sampled access, captured *before* the
+/// replacement state was updated by that access.
+struct AtdObservation {
+  bool hit = false;
+  std::uint32_t way = 0;
+  /// Valid only on hits: recency estimate for the line that was accessed.
+  cache::StackEstimate estimate{};
+};
+
+class Atd {
+ public:
+  /// `l2_geometry` is the shape of the cache being profiled; the ATD keeps
+  /// l2_sets / sampling_ratio sets (sampling_ratio == 1 disables sampling).
+  Atd(const cache::Geometry& l2_geometry, cache::ReplacementKind replacement,
+      std::uint32_t sampling_ratio, std::uint64_t seed = 0x5eed);
+
+  /// Probe the ATD with an L2 line address. Returns nullopt when the set is
+  /// not sampled; otherwise the observation (the ATD state is updated, and a
+  /// missing line is installed over the policy's victim).
+  std::optional<AtdObservation> access(cache::Addr line_addr);
+
+  [[nodiscard]] bool is_sampled(cache::Addr line_addr) const;
+
+  [[nodiscard]] std::uint32_t sampling_ratio() const noexcept { return sampling_ratio_; }
+  [[nodiscard]] std::uint32_t associativity() const noexcept {
+    return atd_geo_.associativity;
+  }
+  [[nodiscard]] std::uint64_t sets() const noexcept { return atd_geo_.sets(); }
+  [[nodiscard]] const cache::ReplacementPolicy& policy() const noexcept { return *policy_; }
+
+  /// Storage cost of this ATD in bits: per entry one tag + valid bit + the
+  /// replacement metadata share (see power/complexity.hpp for the formulas).
+  [[nodiscard]] std::uint64_t storage_bits(std::uint32_t tag_bits) const;
+
+  void reset();
+
+ private:
+  struct Entry {
+    std::uint64_t tag = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] Entry& entry(std::uint64_t set, std::uint32_t way) {
+    return entries_[set * atd_geo_.associativity + way];
+  }
+
+  cache::Geometry l2_geo_;
+  cache::Geometry atd_geo_;
+  std::uint32_t sampling_ratio_;
+  std::unique_ptr<cache::ReplacementPolicy> policy_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace plrupart::core

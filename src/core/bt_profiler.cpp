@@ -1,0 +1,11 @@
+// BtProfiler is fully defined in profiler.hpp; this translation unit anchors
+// it in the build (the estimate itself is produced by
+// cache::TreePlru::estimate_position — the ID decoder + XOR + SUB datapath of
+// paper Fig. 4(b,c)).
+#include "core/profiler.hpp"
+
+namespace plrupart::core {
+
+static_assert(sizeof(BtProfiler) > 0);
+
+}  // namespace plrupart::core

@@ -1,0 +1,101 @@
+#include "core/ipc_policy.hpp"
+
+#include <limits>
+
+namespace plrupart::core {
+
+void IpcModel::validate() const {
+  PLRUPART_ASSERT(instr_per_l2_access > 0.0);
+  PLRUPART_ASSERT(base_ipc > 0.0);
+  PLRUPART_ASSERT(l2_hit_penalty >= 0.0 && mem_penalty >= 0.0);
+  PLRUPART_ASSERT(stall_fraction >= 0.0 && stall_fraction <= 1.0);
+}
+
+double IpcModel::predicted_ipc(const MissCurve& curve, std::uint32_t ways) const {
+  const double accesses = curve.accesses();
+  if (accesses <= 0.0) return base_ipc;  // no L2 traffic observed: core-bound
+  const double misses = curve.misses(ways);
+  const double hits = accesses - misses;
+  const double instructions = accesses * instr_per_l2_access;
+  // Same accounting as sim::CoreModel: issue cycles plus the exposed slice of
+  // each L2-hit / memory penalty.
+  const double cycles = instructions / base_ipc +
+                        hits * l2_hit_penalty * stall_fraction +
+                        misses * mem_penalty * stall_fraction;
+  return instructions / cycles;
+}
+
+std::string to_string(IpcObjective o) {
+  switch (o) {
+    case IpcObjective::kThroughput:
+      return "throughput";
+    case IpcObjective::kWeightedSpeedup:
+      return "weighted-speedup";
+    case IpcObjective::kHarmonicMean:
+      return "harmonic-mean";
+  }
+  return "?";
+}
+
+IpcPolicy::IpcPolicy(std::vector<IpcModel> models, IpcObjective objective)
+    : models_(std::move(models)), objective_(objective) {
+  PLRUPART_ASSERT_MSG(!models_.empty(), "IpcPolicy needs one model per core");
+  for (const auto& m : models_) m.validate();
+}
+
+double IpcPolicy::cost(std::size_t core, const MissCurve& curve,
+                       std::uint32_t ways) const {
+  const IpcModel& m = models_[core];
+  const double ipc = m.predicted_ipc(curve, ways);
+  switch (objective_) {
+    case IpcObjective::kThroughput:
+      return -ipc;
+    case IpcObjective::kWeightedSpeedup:
+      return -ipc / m.predicted_ipc(curve, curve.max_ways());
+    case IpcObjective::kHarmonicMean:
+      // Maximizing N / sum(iso/ipc) == minimizing sum(iso/ipc).
+      return m.predicted_ipc(curve, curve.max_ways()) / ipc;
+  }
+  return 0.0;
+}
+
+Partition IpcPolicy::decide(const std::vector<MissCurve>& curves,
+                            std::uint32_t total_ways) {
+  PLRUPART_ASSERT_MSG(curves.size() == models_.size(),
+                      "curve count must match the registered IPC models");
+  PLRUPART_ASSERT(curves.size() <= total_ways);
+  const auto n = static_cast<std::uint32_t>(curves.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Exact DP over the separable per-thread costs (cf. min_misses_optimal).
+  std::vector<std::vector<double>> f(n + 1, std::vector<double>(total_ways + 1, kInf));
+  std::vector<std::vector<std::uint32_t>> choice(n,
+                                                 std::vector<std::uint32_t>(total_ways + 1, 0));
+  f[n][0] = 0.0;
+  for (std::uint32_t i = n; i-- > 0;) {
+    const std::uint32_t remaining_cores = n - i - 1;
+    for (std::uint32_t b = remaining_cores + 1; b <= total_ways; ++b) {
+      const std::uint32_t w_max = b - remaining_cores;
+      for (std::uint32_t w = 1; w <= w_max; ++w) {
+        const double c = cost(i, curves[i], w) + f[i + 1][b - w];
+        if (c < f[i][b]) {
+          f[i][b] = c;
+          choice[i][b] = w;
+        }
+      }
+    }
+  }
+
+  Partition p(n);
+  std::uint32_t b = total_ways;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    p[i] = choice[i][b];
+    b -= p[i];
+  }
+  validate_partition(p, total_ways);
+  return p;
+}
+
+std::string IpcPolicy::name() const { return "IPC(" + to_string(objective_) + ")"; }
+
+}  // namespace plrupart::core

@@ -1,0 +1,48 @@
+// LruProfiler and the profiler factory.
+#include "core/profiler.hpp"
+
+namespace plrupart::core {
+
+std::unique_ptr<Profiler> make_profiler(ProfilerKind kind,
+                                        cache::ReplacementKind l2_replacement,
+                                        const cache::Geometry& geo,
+                                        std::uint32_t sampling_ratio, double esdh_scale,
+                                        NruUpdateMode nru_mode, std::uint64_t seed) {
+  if (kind == ProfilerKind::kAuto) {
+    switch (l2_replacement) {
+      case cache::ReplacementKind::kLru:
+        kind = ProfilerKind::kLruExact;
+        break;
+      case cache::ReplacementKind::kNru:
+        kind = ProfilerKind::kNru;
+        break;
+      case cache::ReplacementKind::kTreePlru:
+        kind = ProfilerKind::kBt;
+        break;
+      case cache::ReplacementKind::kRandom:
+        // Random replacement keeps no recency state to profile; the closest
+        // meaningful profile is an idealized LRU ATD.
+        kind = ProfilerKind::kLruExact;
+        break;
+      case cache::ReplacementKind::kSrrip:
+        kind = ProfilerKind::kSrrip;
+        break;
+    }
+  }
+  switch (kind) {
+    case ProfilerKind::kLruExact:
+      return std::make_unique<LruProfiler>(geo, sampling_ratio, seed);
+    case ProfilerKind::kNru:
+      return std::make_unique<NruProfiler>(geo, sampling_ratio, esdh_scale, nru_mode, seed);
+    case ProfilerKind::kBt:
+      return std::make_unique<BtProfiler>(geo, sampling_ratio, seed);
+    case ProfilerKind::kSrrip:
+      return std::make_unique<SrripProfiler>(geo, sampling_ratio, seed);
+    case ProfilerKind::kAuto:
+      break;  // resolved above
+  }
+  PLRUPART_ASSERT_MSG(false, "unreachable profiler kind");
+  return nullptr;
+}
+
+}  // namespace plrupart::core

@@ -1,0 +1,133 @@
+#include "core/min_misses.hpp"
+
+#include <limits>
+
+namespace plrupart::core {
+
+namespace {
+void check_inputs(const std::vector<MissCurve>& curves, std::uint32_t total_ways) {
+  PLRUPART_ASSERT(!curves.empty());
+  PLRUPART_ASSERT_MSG(curves.size() <= total_ways,
+                      "more cores than ways: cannot give each a way");
+  for (const auto& c : curves) PLRUPART_ASSERT(c.max_ways() >= total_ways);
+}
+}  // namespace
+
+Partition min_misses_optimal(const std::vector<MissCurve>& curves,
+                             std::uint32_t total_ways) {
+  check_inputs(curves, total_ways);
+  const auto n = static_cast<std::uint32_t>(curves.size());
+  const std::uint32_t budget = total_ways;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // f[i][b] = min misses for cores [i, n) sharing exactly b ways.
+  // choice[i][b] = the (smallest optimal) allocation of core i.
+  std::vector<std::vector<double>> f(n + 1, std::vector<double>(budget + 1, kInf));
+  std::vector<std::vector<std::uint32_t>> choice(n, std::vector<std::uint32_t>(budget + 1, 0));
+  f[n][0] = 0.0;
+
+  for (std::uint32_t i = n; i-- > 0;) {
+    const std::uint32_t remaining_cores = n - i - 1;
+    for (std::uint32_t b = remaining_cores + 1; b <= budget; ++b) {
+      const std::uint32_t w_max = b - remaining_cores;
+      for (std::uint32_t w = 1; w <= w_max; ++w) {
+        const double cost = curves[i].misses(w) + f[i + 1][b - w];
+        if (cost < f[i][b]) {
+          f[i][b] = cost;
+          choice[i][b] = w;
+        }
+      }
+    }
+  }
+
+  Partition p(n);
+  std::uint32_t b = budget;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    p[i] = choice[i][b];
+    b -= p[i];
+  }
+  validate_partition(p, total_ways);
+  return p;
+}
+
+Partition min_misses_greedy(const std::vector<MissCurve>& curves,
+                            std::uint32_t total_ways) {
+  check_inputs(curves, total_ways);
+  const auto n = static_cast<std::uint32_t>(curves.size());
+  Partition p(n, 1);
+  std::uint32_t remaining = total_ways - n;
+  while (remaining > 0) {
+    std::uint32_t best = 0;
+    double best_gain = -1.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (p[i] >= total_ways) continue;
+      const double gain = curves[i].marginal_gain(p[i]);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    ++p[best];
+    --remaining;
+  }
+  validate_partition(p, total_ways);
+  return p;
+}
+
+Partition min_misses_lookahead(const std::vector<MissCurve>& curves,
+                               std::uint32_t total_ways) {
+  check_inputs(curves, total_ways);
+  const auto n = static_cast<std::uint32_t>(curves.size());
+  Partition p(n, 1);
+  std::uint32_t remaining = total_ways - n;
+  while (remaining > 0) {
+    // For each core, the block size k maximizing average utility
+    // (misses(w) - misses(w+k)) / k over k <= remaining.
+    std::uint32_t best_core = 0;
+    std::uint32_t best_k = 1;
+    double best_mu = -1.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t k = 1; k <= remaining && p[i] + k <= total_ways; ++k) {
+        const double mu =
+            (curves[i].misses(p[i]) - curves[i].misses(p[i] + k)) / static_cast<double>(k);
+        if (mu > best_mu) {
+          best_mu = mu;
+          best_core = i;
+          best_k = k;
+        }
+      }
+    }
+    p[best_core] += best_k;
+    remaining -= best_k;
+  }
+  validate_partition(p, total_ways);
+  return p;
+}
+
+Partition MinMissesPolicy::decide(const std::vector<MissCurve>& curves,
+                                  std::uint32_t total_ways) {
+  switch (algo_) {
+    case MinMissesAlgorithm::kOptimal:
+      return min_misses_optimal(curves, total_ways);
+    case MinMissesAlgorithm::kGreedy:
+      return min_misses_greedy(curves, total_ways);
+    case MinMissesAlgorithm::kLookahead:
+      return min_misses_lookahead(curves, total_ways);
+  }
+  PLRUPART_ASSERT_MSG(false, "unknown MinMisses algorithm");
+  return {};
+}
+
+std::string MinMissesPolicy::name() const {
+  switch (algo_) {
+    case MinMissesAlgorithm::kOptimal:
+      return "MinMisses(optimal)";
+    case MinMissesAlgorithm::kGreedy:
+      return "MinMisses(greedy)";
+    case MinMissesAlgorithm::kLookahead:
+      return "MinMisses(lookahead)";
+  }
+  return "?";
+}
+
+}  // namespace plrupart::core

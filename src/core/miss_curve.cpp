@@ -1,0 +1,31 @@
+#include "core/miss_curve.hpp"
+
+namespace plrupart::core {
+
+MissCurve::MissCurve(std::vector<double> misses_by_ways) : curve_(std::move(misses_by_ways)) {
+  PLRUPART_ASSERT_MSG(curve_.size() >= 2, "curve needs at least ways 0 and 1");
+  for (std::size_t w = 1; w < curve_.size(); ++w) {
+    PLRUPART_ASSERT_MSG(curve_[w] <= curve_[w - 1] + 1e-9,
+                        "miss curve must be non-increasing in ways");
+    PLRUPART_ASSERT(curve_[w] >= 0.0);
+  }
+}
+
+MissCurve MissCurve::from_sdh(const Sdh& sdh, double scale) {
+  PLRUPART_ASSERT(scale > 0.0);
+  const std::uint32_t assoc = sdh.associativity();
+  std::vector<double> misses(assoc + 1);
+  for (std::uint32_t w = 0; w <= assoc; ++w) {
+    misses[w] = static_cast<double>(sdh.misses_with_ways(w)) * scale;
+  }
+  return MissCurve(std::move(misses));
+}
+
+bool MissCurve::is_convex() const {
+  for (std::uint32_t w = 0; w + 2 < curve_.size(); ++w) {
+    if (marginal_gain(w) + 1e-9 < marginal_gain(w + 1)) return false;
+  }
+  return true;
+}
+
+}  // namespace plrupart::core

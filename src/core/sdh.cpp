@@ -1,0 +1,9 @@
+// Sdh is header-only; this translation unit anchors the module in the build
+// and holds its static checks.
+#include "core/sdh.hpp"
+
+namespace plrupart::core {
+
+static_assert(sizeof(Sdh) > 0);
+
+}  // namespace plrupart::core

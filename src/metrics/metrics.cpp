@@ -1,0 +1,45 @@
+#include "metrics/metrics.hpp"
+
+namespace plrupart::metrics {
+
+double throughput(const std::vector<double>& ipcs) {
+  double t = 0.0;
+  for (const double v : ipcs) {
+    PLRUPART_ASSERT(v >= 0.0);
+    t += v;
+  }
+  return t;
+}
+
+double weighted_speedup(const std::vector<double>& ipcs,
+                        const std::vector<double>& isolation_ipcs) {
+  PLRUPART_ASSERT(ipcs.size() == isolation_ipcs.size());
+  PLRUPART_ASSERT(!ipcs.empty());
+  double ws = 0.0;
+  for (std::size_t i = 0; i < ipcs.size(); ++i) {
+    PLRUPART_ASSERT(isolation_ipcs[i] > 0.0);
+    ws += ipcs[i] / isolation_ipcs[i];
+  }
+  return ws;
+}
+
+double harmonic_mean_speedup(const std::vector<double>& ipcs,
+                             const std::vector<double>& isolation_ipcs) {
+  PLRUPART_ASSERT(ipcs.size() == isolation_ipcs.size());
+  PLRUPART_ASSERT(!ipcs.empty());
+  double denom = 0.0;
+  for (std::size_t i = 0; i < ipcs.size(); ++i) {
+    PLRUPART_ASSERT(ipcs[i] > 0.0);
+    denom += isolation_ipcs[i] / ipcs[i];
+  }
+  return static_cast<double>(ipcs.size()) / denom;
+}
+
+PerfMetrics compute(const std::vector<double>& ipcs,
+                    const std::vector<double>& isolation_ipcs) {
+  return PerfMetrics{.throughput = throughput(ipcs),
+                     .weighted_speedup = weighted_speedup(ipcs, isolation_ipcs),
+                     .harmonic_mean = harmonic_mean_speedup(ipcs, isolation_ipcs)};
+}
+
+}  // namespace plrupart::metrics

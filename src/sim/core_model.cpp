@@ -1,0 +1,8 @@
+// CoreModel is header-only; this translation unit anchors the module.
+#include "sim/core_model.hpp"
+
+namespace plrupart::sim {
+
+static_assert(sizeof(CoreModel) > 0);
+
+}  // namespace plrupart::sim

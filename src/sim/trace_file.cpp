@@ -1,0 +1,78 @@
+#include "sim/trace_file.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace plrupart::sim {
+
+namespace {
+constexpr const char* kHeader = "# plrupart-trace v1";
+
+[[nodiscard]] std::string basename_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+}  // namespace
+
+FileTraceSource::FileTraceSource(const std::string& path) : name_(basename_of(path)) {
+  std::ifstream in(path);
+  PLRUPART_ASSERT_MSG(in.good(), "cannot open trace file " + path);
+  std::string line;
+  PLRUPART_ASSERT_MSG(std::getline(in, line) && line == kHeader,
+                      "missing plrupart-trace v1 header in " + path);
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    MemOp op;
+    std::string addr_hex, rw;
+    if (!(ss >> op.gap_instrs >> addr_hex >> rw)) {
+      PLRUPART_ASSERT_MSG(false, path + ": malformed record at line " +
+                                     std::to_string(lineno));
+    }
+    std::uint64_t addr = 0;
+    const auto* begin = addr_hex.data();
+    const auto* end = begin + addr_hex.size();
+    auto [ptr, ec] = std::from_chars(begin, end, addr, 16);
+    PLRUPART_ASSERT_MSG(ec == std::errc{} && ptr == end,
+                        path + ": bad address at line " + std::to_string(lineno));
+    op.addr = addr;
+    PLRUPART_ASSERT_MSG(rw == "R" || rw == "W",
+                        path + ": bad R/W flag at line " + std::to_string(lineno));
+    op.write = rw == "W";
+    ops_.push_back(op);
+  }
+  PLRUPART_ASSERT_MSG(!ops_.empty(), "empty trace file " + path);
+}
+
+MemOp FileTraceSource::next() {
+  const MemOp op = ops_[cursor_];
+  cursor_ = (cursor_ + 1) % ops_.size();
+  return op;
+}
+
+void write_trace_file(const std::string& path, const std::vector<MemOp>& ops) {
+  PLRUPART_ASSERT_MSG(!ops.empty(), "refusing to write an empty trace");
+  std::ofstream out(path);
+  PLRUPART_ASSERT_MSG(out.good(), "cannot write trace file " + path);
+  out << kHeader << '\n';
+  for (const auto& op : ops) {
+    out << op.gap_instrs << ' ' << std::hex << op.addr << std::dec << ' '
+        << (op.write ? 'W' : 'R') << '\n';
+  }
+  PLRUPART_ASSERT_MSG(out.good(), "short write to trace file " + path);
+}
+
+std::vector<MemOp> record_trace(TraceSource& source, std::size_t count) {
+  PLRUPART_ASSERT(count > 0);
+  std::vector<MemOp> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ops.push_back(source.next());
+  return ops;
+}
+
+}  // namespace plrupart::sim

@@ -1,0 +1,46 @@
+// Trace file I/O: record simulator-ready traces and play them back.
+//
+// This is the bridge to real workloads: anything that can emit
+// (gap-instructions, address, read/write) tuples — a PIN tool, a ChampSim
+// trace converter, another simulator — can drive this library.
+//
+// Format (text, line oriented):
+//   # plrupart-trace v1          <- required header
+//   <gap> <addr-hex> <R|W>       <- one record per line
+// Blank lines and further '#' comments are ignored.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/mem_op.hpp"
+
+namespace plrupart::sim {
+
+/// Plays a recorded trace. The whole file is loaded up front (traces at this
+/// repo's scale are small); the source loops at end-of-trace so the simulator
+/// can run past the recorded length, matching SyntheticTrace semantics.
+class FileTraceSource final : public TraceSource {
+ public:
+  explicit FileTraceSource(const std::string& path);
+
+  MemOp next() override;
+  void reset() override { cursor_ = 0; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<MemOp> ops_;
+  std::size_t cursor_ = 0;
+};
+
+/// Write `ops` to `path` in the v1 text format.
+void write_trace_file(const std::string& path, const std::vector<MemOp>& ops);
+
+/// Capture the first `count` operations of any source into a vector (the
+/// source is advanced; reset it afterwards if order matters).
+[[nodiscard]] std::vector<MemOp> record_trace(TraceSource& source, std::size_t count);
+
+}  // namespace plrupart::sim

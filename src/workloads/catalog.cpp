@@ -1,0 +1,244 @@
+#include "workloads/catalog.hpp"
+
+#include <algorithm>
+
+namespace plrupart::workloads {
+
+namespace {
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+[[nodiscard]] sim::CoreParams core_of(double ipc, double stall) {
+  sim::CoreParams p;
+  p.base_ipc = ipc;
+  p.stall_fraction = stall;
+  return p;
+}
+
+[[nodiscard]] ComponentSpec stream(std::uint64_t bytes, double w) {
+  return ComponentSpec{.kind = PatternKind::kSequentialStream,
+                       .region_bytes = bytes,
+                       .stride_bytes = 128,
+                       .weight = w};
+}
+[[nodiscard]] ComponentSpec strided(std::uint64_t bytes, std::uint32_t stride, double w) {
+  return ComponentSpec{.kind = PatternKind::kStridedLoop,
+                       .region_bytes = bytes,
+                       .stride_bytes = stride,
+                       .weight = w};
+}
+[[nodiscard]] ComponentSpec hot(std::uint64_t bytes, double w) {
+  // Skewed reuse (head of the region much hotter than the tail) mirrors real
+  // program footprints and produces the smooth, convex miss curves the
+  // MinMisses literature assumes.
+  return ComponentSpec{.kind = PatternKind::kRandomRegion,
+                       .region_bytes = bytes,
+                       .stride_bytes = 128,
+                       .weight = w,
+                       .skew = 4.0};
+}
+[[nodiscard]] ComponentSpec chase(std::uint64_t bytes, double w) {
+  // Pointer chases stay uniform: dependent walks have no head bias.
+  return ComponentSpec{.kind = PatternKind::kPointerChase,
+                       .region_bytes = bytes,
+                       .stride_bytes = 128,
+                       .weight = w,
+                       .skew = 1.0};
+}
+
+[[nodiscard]] std::vector<BenchmarkProfile> build_catalog() {
+  std::vector<BenchmarkProfile> v;
+
+  // --- Memory hogs / streaming thrashers: little to gain from extra ways.
+  v.push_back({.name = "mcf",
+               .mem_fraction = 0.35,
+               .write_fraction = 0.25,
+               .core = core_of(1.2, 0.95),
+               .components = {chase(6 * MiB, 0.7), hot(256 * KiB, 0.3)},
+               .l1_fraction = 0.55});
+  v.push_back({.name = "art",
+               .mem_fraction = 0.35,
+               .write_fraction = 0.2,
+               .core = core_of(1.8, 0.6),
+               .components = {stream(4 * MiB, 0.8), hot(128 * KiB, 0.2)},
+               .l1_fraction = 0.5});
+  v.push_back({.name = "swim",
+               .mem_fraction = 0.30,
+               .write_fraction = 0.35,
+               .core = core_of(2.2, 0.5),
+               .components = {stream(8 * MiB, 0.9), hot(128 * KiB, 0.1)},
+               .l1_fraction = 0.5});
+  v.push_back({.name = "applu",
+               .mem_fraction = 0.28,
+               .write_fraction = 0.35,
+               .core = core_of(2.2, 0.5),
+               .components = {stream(4 * MiB, 0.6), strided(1 * MiB, 512, 0.4)},
+               .l1_fraction = 0.55});
+  v.push_back({.name = "lucas",
+               .mem_fraction = 0.30,
+               .write_fraction = 0.3,
+               .core = core_of(2.0, 0.6),
+               .components = {strided(4 * MiB, 512, 0.8), hot(192 * KiB, 0.2)},
+               .l1_fraction = 0.55});
+  v.push_back({.name = "mgrid",
+               .mem_fraction = 0.32,
+               .write_fraction = 0.3,
+               .core = core_of(2.3, 0.45),
+               .components = {stream(6 * MiB, 0.75), hot(256 * KiB, 0.25)},
+               .l1_fraction = 0.55});
+
+  // --- Large-footprint mixed: some reuse worth protecting.
+  v.push_back({.name = "equake",
+               .mem_fraction = 0.30,
+               .write_fraction = 0.25,
+               .core = core_of(1.8, 0.7),
+               .components = {hot(1536 * KiB, 0.5), stream(6 * MiB, 0.5)},
+               .l1_fraction = 0.6});
+  v.push_back({.name = "fma3d",
+               .mem_fraction = 0.28,
+               .write_fraction = 0.3,
+               .core = core_of(2.0, 0.6),
+               .components = {hot(1 * MiB, 0.5), stream(6 * MiB, 0.5)},
+               .l1_fraction = 0.6});
+
+  // --- Cache-sensitive mid working sets: miss curves fall steeply with ways.
+  v.push_back({.name = "twolf",
+               .mem_fraction = 0.30,
+               .write_fraction = 0.2,
+               .core = core_of(1.8, 0.8),
+               .components = {hot(448 * KiB, 0.85), hot(64 * KiB, 0.15)},
+               .l1_fraction = 0.8});
+  v.push_back({.name = "vpr",
+               .mem_fraction = 0.28,
+               .write_fraction = 0.2,
+               .core = core_of(1.9, 0.75),
+               .components = {hot(512 * KiB, 0.8), hot(96 * KiB, 0.2)},
+               .l1_fraction = 0.8});
+  v.push_back({.name = "parser",
+               .mem_fraction = 0.30,
+               .write_fraction = 0.25,
+               .core = core_of(1.7, 0.8),
+               .components = {hot(896 * KiB, 0.7), hot(128 * KiB, 0.3)},
+               .l1_fraction = 0.78});
+  v.push_back({.name = "vortex",
+               .mem_fraction = 0.27,
+               .write_fraction = 0.3,
+               .core = core_of(2.0, 0.7),
+               .components = {hot(1280 * KiB, 0.6), hot(256 * KiB, 0.4)},
+               .phase_period_ops = 3'000'000,
+               .l1_fraction = 0.75});
+  v.push_back({.name = "gap",
+               .mem_fraction = 0.26,
+               .write_fraction = 0.3,
+               .core = core_of(2.2, 0.6),
+               .components = {hot(640 * KiB, 0.6), hot(1 * MiB, 0.4)},
+               .l1_fraction = 0.78});
+  v.push_back({.name = "galgel",
+               .mem_fraction = 0.30,
+               .write_fraction = 0.25,
+               .core = core_of(2.4, 0.5),
+               .components = {hot(512 * KiB, 0.7), stream(4 * MiB, 0.3)},
+               .l1_fraction = 0.75});
+  v.push_back({.name = "facerec",
+               .mem_fraction = 0.28,
+               .write_fraction = 0.2,
+               .core = core_of(2.3, 0.5),
+               .components = {stream(5 * MiB, 0.5), hot(384 * KiB, 0.5)},
+               .l1_fraction = 0.7});
+  v.push_back({.name = "wupwise",
+               .mem_fraction = 0.25,
+               .write_fraction = 0.3,
+               .core = core_of(2.5, 0.5),
+               .components = {hot(768 * KiB, 0.65), stream(4 * MiB, 0.35)},
+               .l1_fraction = 0.75});
+  v.push_back({.name = "apsi",
+               .mem_fraction = 0.27,
+               .write_fraction = 0.3,
+               .core = core_of(2.3, 0.55),
+               .components = {hot(640 * KiB, 0.7), hot(1 * MiB, 0.3)},
+               .l1_fraction = 0.75});
+  v.push_back({.name = "gcc",
+               .mem_fraction = 0.28,
+               .write_fraction = 0.3,
+               .core = core_of(2.0, 0.7),
+               .components = {hot(1536 * KiB, 0.55), hot(192 * KiB, 0.45)},
+               .phase_period_ops = 2'500'000,
+               .l1_fraction = 0.75});
+  v.push_back({.name = "bzip2",
+               .mem_fraction = 0.26,
+               .write_fraction = 0.35,
+               .core = core_of(2.2, 0.6),
+               .components = {hot(768 * KiB, 0.6), hot(1 * MiB, 0.4)},
+               .phase_period_ops = 2'000'000,
+               .l1_fraction = 0.78});
+
+  // --- Small working sets: mostly L1/L2-light, cache-insensitive.
+  v.push_back({.name = "gzip",
+               .mem_fraction = 0.24,
+               .write_fraction = 0.3,
+               .core = core_of(2.6, 0.5),
+               .components = {hot(256 * KiB, 0.75), hot(512 * KiB, 0.25)},
+               .l1_fraction = 0.85});
+  v.push_back({.name = "crafty",
+               .mem_fraction = 0.25,
+               .write_fraction = 0.2,
+               .core = core_of(2.8, 0.5),
+               .components = {hot(160 * KiB, 0.9), hot(512 * KiB, 0.1)},
+               .l1_fraction = 0.88});
+  v.push_back({.name = "eon",
+               .mem_fraction = 0.20,
+               .write_fraction = 0.25,
+               .core = core_of(3.2, 0.35),
+               .components = {hot(64 * KiB, 0.95), hot(256 * KiB, 0.05)},
+               .l1_fraction = 0.92});
+  v.push_back({.name = "sixtrack",
+               .mem_fraction = 0.22,
+               .write_fraction = 0.25,
+               .core = core_of(3.0, 0.4),
+               .components = {hot(96 * KiB, 0.9), hot(512 * KiB, 0.1)},
+               .l1_fraction = 0.88});
+  v.push_back({.name = "mesa",
+               .mem_fraction = 0.22,
+               .write_fraction = 0.3,
+               .core = core_of(2.8, 0.4),
+               .components = {hot(192 * KiB, 0.8), hot(256 * KiB, 0.2)},
+               .l1_fraction = 0.88});
+  v.push_back({.name = "perlbmk",
+               .mem_fraction = 0.26,
+               .write_fraction = 0.3,
+               .core = core_of(2.5, 0.5),
+               .components = {hot(320 * KiB, 0.7), hot(96 * KiB, 0.3)},
+               .phase_period_ops = 1'500'000,
+               .l1_fraction = 0.85});
+
+  std::sort(v.begin(), v.end(),
+            [](const BenchmarkProfile& a, const BenchmarkProfile& b) { return a.name < b.name; });
+  return v;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkProfile>& catalog() {
+  static const std::vector<BenchmarkProfile> entries = build_catalog();
+  return entries;
+}
+
+bool has_benchmark(const std::string& name) {
+  const std::string key = (name == "perl") ? "perlbmk" : name;
+  for (const auto& b : catalog()) {
+    if (b.name == key) return true;
+  }
+  return false;
+}
+
+const BenchmarkProfile& benchmark(const std::string& name) {
+  const std::string key = (name == "perl") ? "perlbmk" : name;
+  for (const auto& b : catalog()) {
+    if (b.name == key) return b;
+  }
+  PLRUPART_ASSERT_MSG(false, "unknown benchmark: " + name);
+  return catalog().front();  // unreachable
+}
+
+}  // namespace plrupart::workloads

@@ -1,0 +1,26 @@
+// SPEC CPU 2000 benchmark catalog (synthetic substitutes).
+//
+// 25 profiles covering every benchmark named in the paper's Table II. The
+// parameters are not measurements; they encode each benchmark's published
+// qualitative cache personality (working-set size, streaming vs. reuse,
+// latency sensitivity) so that partitioning decisions face the same kinds of
+// miss curves the paper's traces produced. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/generators.hpp"
+
+namespace plrupart::workloads {
+
+/// All catalog entries, alphabetical by name.
+[[nodiscard]] const std::vector<BenchmarkProfile>& catalog();
+
+/// Look up one benchmark by Table II name ("perl" aliases "perlbmk").
+/// Throws InvariantError for unknown names.
+[[nodiscard]] const BenchmarkProfile& benchmark(const std::string& name);
+
+[[nodiscard]] bool has_benchmark(const std::string& name);
+
+}  // namespace plrupart::workloads

@@ -1,0 +1,127 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace plrupart::workloads {
+
+namespace {
+constexpr std::uint64_t kLineBytes = 128;  // matches the paper's line size
+
+[[nodiscard]] std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+}  // namespace
+
+SyntheticTrace::SyntheticTrace(BenchmarkProfile profile, std::uint64_t base_addr,
+                               std::uint64_t seed)
+    : profile_(std::move(profile)), base_addr_(base_addr), seed_(seed), rng_(seed) {
+  PLRUPART_ASSERT_MSG(!profile_.components.empty(), "profile needs >= 1 component");
+  PLRUPART_ASSERT(profile_.mem_fraction > 0.0 && profile_.mem_fraction <= 1.0);
+  PLRUPART_ASSERT(profile_.write_fraction >= 0.0 && profile_.write_fraction <= 1.0);
+  profile_.core.validate();
+
+  PLRUPART_ASSERT(profile_.l1_fraction >= 0.0 && profile_.l1_fraction < 1.0);
+
+  // Carve disjoint, line-aligned sub-regions: the L1 scratch region first,
+  // then the components.
+  std::uint64_t offset = 0;
+  if (profile_.l1_fraction > 0.0) {
+    PLRUPART_ASSERT(profile_.l1_region_bytes >= kLineBytes);
+    offset = align_up(profile_.l1_region_bytes, kLineBytes);
+  }
+  for (const auto& c : profile_.components) {
+    PLRUPART_ASSERT_MSG(c.region_bytes >= kLineBytes, "component region below one line");
+    PLRUPART_ASSERT(c.weight > 0.0);
+    bases_.push_back(base_addr_ + offset);
+    offset += align_up(c.region_bytes, kLineBytes);
+    total_weight_ += c.weight;
+  }
+  cursors_.assign(profile_.components.size(), 0);
+}
+
+void SyntheticTrace::reset() {
+  rng_ = Rng(seed_);
+  for (auto& c : cursors_) c = 0;
+  ops_ = 0;
+  gap_carry_ = 0.0;
+}
+
+std::size_t SyntheticTrace::pick_component() {
+  const std::size_t n = profile_.components.size();
+  if (n == 1) return 0;
+  // Phase behavior: rotate which component each weight applies to, so the
+  // dominant working set changes across phases.
+  const std::size_t rot = static_cast<std::size_t>(phase()) % n;
+  double r = rng_.next_double() * total_weight_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = profile_.components[(i + rot) % n].weight;
+    if (r < w) return i;
+    r -= w;
+  }
+  return n - 1;
+}
+
+cache::Addr SyntheticTrace::component_address(std::size_t idx) {
+  const ComponentSpec& c = profile_.components[idx];
+  const std::uint64_t lines = c.region_bytes / kLineBytes;
+  std::uint64_t line_off = 0;
+  switch (c.kind) {
+    case PatternKind::kSequentialStream: {
+      line_off = cursors_[idx] % lines;
+      cursors_[idx] += 1;
+      break;
+    }
+    case PatternKind::kStridedLoop: {
+      const std::uint64_t stride_lines =
+          std::max<std::uint64_t>(1, c.stride_bytes / kLineBytes);
+      line_off = (cursors_[idx] * stride_lines) % lines;
+      cursors_[idx] += 1;
+      break;
+    }
+    case PatternKind::kRandomRegion:
+    case PatternKind::kPointerChase: {
+      if (c.skew == 1.0) {
+        line_off = rng_.next_below(lines);
+      } else {
+        const double u = rng_.next_double();
+        line_off = static_cast<std::uint64_t>(static_cast<double>(lines) *
+                                              std::pow(u, c.skew));
+        if (line_off >= lines) line_off = lines - 1;
+      }
+      break;
+    }
+  }
+  return bases_[idx] + line_off * kLineBytes;
+}
+
+sim::MemOp SyntheticTrace::next() {
+  sim::MemOp op;
+  // Deterministic fractional pacing of non-memory instructions: on average
+  // (1 - f) / f gap instructions per memory op.
+  const double mean_gap = (1.0 - profile_.mem_fraction) / profile_.mem_fraction;
+  gap_carry_ += mean_gap;
+  op.gap_instrs = static_cast<std::uint32_t>(gap_carry_);
+  gap_carry_ -= op.gap_instrs;
+
+  if (profile_.l1_fraction > 0.0 && rng_.next_bool(profile_.l1_fraction)) {
+    const std::uint64_t lines = profile_.l1_region_bytes / kLineBytes;
+    op.addr = base_addr_ + rng_.next_below(lines) * kLineBytes;
+  } else {
+    const std::size_t idx = pick_component();
+    op.addr = component_address(idx);
+  }
+  op.write = rng_.next_bool(profile_.write_fraction);
+  ++ops_;
+  return op;
+}
+
+std::unique_ptr<SyntheticTrace> make_trace(const BenchmarkProfile& profile,
+                                           std::uint32_t core_id, std::uint64_t seed) {
+  // 1 TiB per thread keeps address spaces disjoint at any modeled cache size.
+  const std::uint64_t base = (static_cast<std::uint64_t>(core_id) + 1) << 40;
+  return std::make_unique<SyntheticTrace>(profile, base, derive_seed(seed, core_id));
+}
+
+}  // namespace plrupart::workloads

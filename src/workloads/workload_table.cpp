@@ -1,0 +1,112 @@
+#include "workloads/workload_table.hpp"
+
+#include "common/assert.hpp"
+#include "workloads/catalog.hpp"
+
+namespace plrupart::workloads {
+
+namespace {
+[[nodiscard]] std::vector<Workload> validated(std::vector<Workload> v) {
+  for (const auto& w : v)
+    for (const auto& b : w.benchmarks)
+      PLRUPART_ASSERT_MSG(has_benchmark(b), "Table II references unknown benchmark " + b);
+  return v;
+}
+}  // namespace
+
+const std::vector<Workload>& workloads_2t() {
+  static const std::vector<Workload> v = validated({
+      {"2T_01", {"apsi", "bzip2"}},
+      {"2T_02", {"mcf", "parser"}},
+      {"2T_03", {"twolf", "vortex"}},
+      {"2T_04", {"vpr", "art"}},
+      {"2T_05", {"apsi", "crafty"}},
+      {"2T_06", {"bzip2", "eon"}},
+      {"2T_07", {"mcf", "gcc"}},
+      {"2T_08", {"parser", "gzip"}},
+      {"2T_09", {"applu", "gap"}},
+      {"2T_10", {"lucas", "sixtrack"}},
+      {"2T_11", {"facerec", "wupwise"}},
+      {"2T_12", {"galgel", "facerec"}},
+      {"2T_13", {"applu", "apsi"}},
+      {"2T_14", {"gap", "bzip2"}},
+      {"2T_15", {"lucas", "mcf"}},
+      {"2T_16", {"sixtrack", "parser"}},
+      {"2T_17", {"applu", "crafty"}},
+      {"2T_18", {"gap", "eon"}},
+      {"2T_19", {"lucas", "gcc"}},
+      {"2T_20", {"sixtrack", "gzip"}},
+      {"2T_21", {"crafty", "eon"}},
+      {"2T_22", {"gcc", "gzip"}},
+      {"2T_23", {"mesa", "perlbmk"}},
+      {"2T_24", {"equake", "mgrid"}},
+  });
+  return v;
+}
+
+const std::vector<Workload>& workloads_4t() {
+  static const std::vector<Workload> v = validated({
+      {"4T_01", {"apsi", "bzip2", "mcf", "parser"}},
+      {"4T_02", {"parser", "twolf", "vortex", "vpr"}},
+      {"4T_03", {"apsi", "crafty", "bzip2", "eon"}},
+      {"4T_04", {"mcf", "gcc", "parser", "gzip"}},
+      {"4T_05", {"applu", "gap", "lucas", "sixtrack"}},
+      {"4T_06", {"lucas", "galgel", "facerec", "wupwise"}},
+      {"4T_07", {"applu", "apsi", "gap", "bzip2"}},
+      {"4T_08", {"lucas", "mcf", "sixtrack", "parser"}},
+      {"4T_09", {"vpr", "wupwise", "gzip", "crafty"}},
+      {"4T_10", {"fma3d", "swim", "mcf", "applu"}},
+      {"4T_11", {"applu", "crafty", "gap", "eon"}},
+      {"4T_12", {"lucas", "gcc", "sixtrack", "gzip"}},
+      {"4T_13", {"crafty", "eon", "gcc", "gzip"}},
+      {"4T_14", {"mesa", "perl", "equake", "mgrid"}},
+  });
+  return v;
+}
+
+const std::vector<Workload>& workloads_8t() {
+  static const std::vector<Workload> v = validated({
+      {"8T_01", {"apsi", "bzip2", "mcf", "parser", "twolf", "swim", "vpr", "art"}},
+      {"8T_02", {"apsi", "crafty", "bzip2", "eon", "mcf", "gcc", "parser", "gzip"}},
+      {"8T_03", {"twolf", "mesa", "vortex", "perl", "vpr", "equake", "art", "mgrid"}},
+      {"8T_04",
+       {"applu", "gap", "lucas", "sixtrack", "facerec", "wupwise", "galgel", "facerec"}},
+      {"8T_05", {"applu", "apsi", "gap", "bzip2", "lucas", "mcf", "sixtrack", "parser"}},
+      {"8T_06", {"lucas", "mcf", "sixtrack", "parser", "facerec", "twolf", "wupwise", "art"}},
+      {"8T_07", {"galgel", "vpr", "twolf", "apsi", "art", "swim", "parser", "wupwise"}},
+      {"8T_08", {"gzip", "crafty", "fma3d", "mcf", "applu", "gap", "mesa", "perlbmk"}},
+      {"8T_09", {"applu", "crafty", "gap", "eon", "lucas", "gcc", "sixtrack", "gzip"}},
+      {"8T_10",
+       {"wupwise", "mesa", "facerec", "perl", "galgel", "equake", "facerec", "mgrid"}},
+      {"8T_11", {"crafty", "eon", "gcc", "gzip", "mesa", "perl", "equake", "mgrid"}},
+  });
+  return v;
+}
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> v = [] {
+    std::vector<Workload> all;
+    for (const auto& w : workloads_2t()) all.push_back(w);
+    for (const auto& w : workloads_4t()) all.push_back(w);
+    for (const auto& w : workloads_8t()) all.push_back(w);
+    PLRUPART_ASSERT_MSG(all.size() == 49, "Table II lists 49 workloads");
+    return all;
+  }();
+  return v;
+}
+
+std::vector<Workload> workloads_for_threads(std::uint32_t threads) {
+  if (threads == 1) {
+    std::vector<Workload> singles;
+    for (const auto& b : catalog()) singles.push_back({"1T_" + b.name, {b.name}});
+    return singles;
+  }
+  std::vector<Workload> out;
+  for (const auto& w : all_workloads()) {
+    if (w.threads() == threads) out.push_back(w);
+  }
+  PLRUPART_ASSERT_MSG(!out.empty(), "no Table II workloads with that thread count");
+  return out;
+}
+
+}  // namespace plrupart::workloads

@@ -1,0 +1,30 @@
+// The paper's Table II workload list, encoded verbatim: 24 two-thread, 14
+// four-thread and 11 eight-thread random SPEC CPU 2000 combinations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace plrupart::workloads {
+
+struct Workload {
+  std::string id;                       ///< e.g. "2T_07"
+  std::vector<std::string> benchmarks;  ///< catalog names, one per core
+
+  [[nodiscard]] std::uint32_t threads() const {
+    return static_cast<std::uint32_t>(benchmarks.size());
+  }
+};
+
+[[nodiscard]] const std::vector<Workload>& workloads_2t();
+[[nodiscard]] const std::vector<Workload>& workloads_4t();
+[[nodiscard]] const std::vector<Workload>& workloads_8t();
+
+/// All 49 workloads in Table II order.
+[[nodiscard]] const std::vector<Workload>& all_workloads();
+
+/// Workloads with the given thread count (1 returns one single-thread
+/// workload per catalog benchmark, used by the paper's 1-core Fig. 6 column).
+[[nodiscard]] std::vector<Workload> workloads_for_threads(std::uint32_t threads);
+
+}  // namespace plrupart::workloads

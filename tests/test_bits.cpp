@@ -1,0 +1,94 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plrupart {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(Bits, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0U);
+  EXPECT_EQ(ilog2(2), 1U);
+  EXPECT_EQ(ilog2(3), 1U);
+  EXPECT_EQ(ilog2(16), 4U);
+  EXPECT_EQ(ilog2(17), 4U);
+  EXPECT_EQ(ilog2(1ULL << 40), 40U);
+}
+
+TEST(Bits, Ilog2ExactRejectsNonPow2) {
+  EXPECT_EQ(ilog2_exact(16), 4U);
+  EXPECT_THROW(ilog2_exact(17), InvariantError);
+  EXPECT_THROW(ilog2(0), InvariantError);
+}
+
+TEST(Bits, CeilFloorPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1ULL);
+  EXPECT_EQ(ceil_pow2(3), 4ULL);
+  EXPECT_EQ(ceil_pow2(4), 4ULL);
+  EXPECT_EQ(floor_pow2(5), 4ULL);
+  EXPECT_EQ(floor_pow2(4), 4ULL);
+  EXPECT_EQ(floor_pow2(1), 1ULL);
+}
+
+TEST(Bits, FullWayMask) {
+  EXPECT_EQ(full_way_mask(1), 0b1ULL);
+  EXPECT_EQ(full_way_mask(4), 0b1111ULL);
+  EXPECT_EQ(full_way_mask(16), 0xFFFFULL);
+  EXPECT_EQ(full_way_mask(64), ~0ULL);
+  EXPECT_THROW(full_way_mask(0), InvariantError);
+  EXPECT_THROW(full_way_mask(65), InvariantError);
+}
+
+TEST(Bits, WayRangeMask) {
+  EXPECT_EQ(way_range_mask(0, 4), 0b1111ULL);
+  EXPECT_EQ(way_range_mask(4, 4), 0b11110000ULL);
+  EXPECT_EQ(way_range_mask(2, 0), 0ULL);
+  EXPECT_EQ(way_range_mask(15, 1), 1ULL << 15);
+}
+
+TEST(Bits, MaskQueries) {
+  const WayMask m = 0b101100;
+  EXPECT_TRUE(mask_test(m, 2));
+  EXPECT_FALSE(mask_test(m, 4));
+  EXPECT_EQ(mask_count(m), 3U);
+  EXPECT_EQ(mask_first(m), 2U);
+}
+
+TEST(Bits, MaskNextCircularForward) {
+  // Ways {1, 4, 6} of an 8-way set.
+  const WayMask m = 0b01010010;
+  EXPECT_EQ(mask_next_circular(m, 0, 8), 1U);
+  EXPECT_EQ(mask_next_circular(m, 1, 8), 1U);  // at-or-after includes start
+  EXPECT_EQ(mask_next_circular(m, 2, 8), 4U);
+  EXPECT_EQ(mask_next_circular(m, 5, 8), 6U);
+}
+
+TEST(Bits, MaskNextCircularWrapsAround) {
+  const WayMask m = 0b00000110;
+  EXPECT_EQ(mask_next_circular(m, 3, 8), 1U);  // wraps past way 7
+  EXPECT_EQ(mask_next_circular(m, 7, 8), 1U);
+}
+
+TEST(Bits, MaskNextCircularIgnoresBitsBeyondWays) {
+  // Bits above the associativity must not be picked: from start 3 in a 4-way
+  // set the scan wraps to way 1 instead of reaching phantom way 9.
+  const WayMask m = (1ULL << 9) | 0b10;
+  EXPECT_EQ(mask_next_circular(m, 3, 4), 1U);
+  EXPECT_THROW(mask_next_circular(m, 9, 4), InvariantError) << "start beyond ways";
+}
+
+TEST(Bits, MaskNextCircularEmptyThrows) {
+  EXPECT_THROW(mask_next_circular(0, 0, 8), InvariantError);
+  EXPECT_THROW(mask_next_circular(1ULL << 10, 0, 8), InvariantError);
+}
+
+}  // namespace
+}  // namespace plrupart

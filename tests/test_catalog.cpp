@@ -1,0 +1,118 @@
+// Benchmark catalog + Table II workload list integrity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/catalog.hpp"
+#include "workloads/workload_table.hpp"
+
+namespace plrupart::workloads {
+namespace {
+
+TEST(Catalog, HasTwentyFiveUniqueSortedEntries) {
+  const auto& cat = catalog();
+  EXPECT_EQ(cat.size(), 25U);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    names.insert(cat[i].name);
+    if (i > 0) EXPECT_LT(cat[i - 1].name, cat[i].name);
+  }
+  EXPECT_EQ(names.size(), cat.size());
+}
+
+TEST(Catalog, EveryProfileIsWellFormed) {
+  for (const auto& b : catalog()) {
+    EXPECT_FALSE(b.components.empty()) << b.name;
+    EXPECT_GT(b.mem_fraction, 0.0) << b.name;
+    EXPECT_LE(b.mem_fraction, 0.5) << b.name;
+    EXPECT_GE(b.write_fraction, 0.0) << b.name;
+    EXPECT_LE(b.write_fraction, 1.0) << b.name;
+    b.core.validate();
+    for (const auto& c : b.components) {
+      EXPECT_GE(c.region_bytes, 1024ULL) << b.name;
+      EXPECT_GT(c.weight, 0.0) << b.name;
+    }
+  }
+}
+
+TEST(Catalog, PerlAliasesPerlbmk) {
+  EXPECT_EQ(benchmark("perl").name, "perlbmk");
+  EXPECT_TRUE(has_benchmark("perl"));
+}
+
+TEST(Catalog, UnknownBenchmarkThrows) {
+  EXPECT_FALSE(has_benchmark("doom"));
+  EXPECT_THROW((void)benchmark("doom"), InvariantError);
+}
+
+TEST(Catalog, PersonalityClassesAreDistinct) {
+  // The catalog must span the classes the paper's effects rely on:
+  // thrashers (mcf: huge working set) vs cache-insensitive (eon: tiny).
+  std::uint64_t mcf_ws = 0, eon_ws = 0;
+  for (const auto& c : benchmark("mcf").components) mcf_ws += c.region_bytes;
+  for (const auto& c : benchmark("eon").components) eon_ws += c.region_bytes;
+  EXPECT_GT(mcf_ws, 4ULL * 1024 * 1024);
+  EXPECT_LT(eon_ws, 512ULL * 1024);
+  EXPECT_GT(benchmark("mcf").core.stall_fraction, benchmark("eon").core.stall_fraction);
+}
+
+TEST(Catalog, SomeBenchmarksHavePhases) {
+  int phased = 0;
+  for (const auto& b : catalog()) phased += b.phase_period_ops > 0 ? 1 : 0;
+  EXPECT_GE(phased, 3) << "dynamic CPAs need phase behavior to adapt to";
+}
+
+TEST(WorkloadTable, CountsMatchThePaper) {
+  EXPECT_EQ(workloads_2t().size(), 24U);
+  EXPECT_EQ(workloads_4t().size(), 14U);
+  EXPECT_EQ(workloads_8t().size(), 11U);
+  EXPECT_EQ(all_workloads().size(), 49U);
+}
+
+TEST(WorkloadTable, ThreadCountsAreConsistent) {
+  for (const auto& w : workloads_2t()) EXPECT_EQ(w.threads(), 2U) << w.id;
+  for (const auto& w : workloads_4t()) EXPECT_EQ(w.threads(), 4U) << w.id;
+  for (const auto& w : workloads_8t()) EXPECT_EQ(w.threads(), 8U) << w.id;
+}
+
+TEST(WorkloadTable, AllBenchmarksResolvable) {
+  for (const auto& w : all_workloads()) {
+    for (const auto& b : w.benchmarks) {
+      EXPECT_TRUE(has_benchmark(b)) << w.id << " references " << b;
+    }
+  }
+}
+
+TEST(WorkloadTable, SpotCheckAgainstPaperRows) {
+  EXPECT_EQ(workloads_2t()[0].id, "2T_01");
+  EXPECT_EQ(workloads_2t()[0].benchmarks, (std::vector<std::string>{"apsi", "bzip2"}));
+  EXPECT_EQ(workloads_2t()[23].benchmarks,
+            (std::vector<std::string>{"equake", "mgrid"}));
+  EXPECT_EQ(workloads_4t()[9].benchmarks,
+            (std::vector<std::string>{"fma3d", "swim", "mcf", "applu"}));
+  EXPECT_EQ(workloads_8t()[10].benchmarks,
+            (std::vector<std::string>{"crafty", "eon", "gcc", "gzip", "mesa", "perl",
+                                      "equake", "mgrid"}));
+}
+
+TEST(WorkloadTable, DuplicateBenchmarksAllowedWithinWorkload) {
+  // 8T_04 and 8T_10 list facerec twice, exactly as in the paper.
+  const auto& w = workloads_8t()[3];
+  EXPECT_EQ(w.id, "8T_04");
+  int facerec = 0;
+  for (const auto& b : w.benchmarks) facerec += (b == "facerec") ? 1 : 0;
+  EXPECT_EQ(facerec, 2);
+}
+
+TEST(WorkloadTable, ForThreadsSelector) {
+  EXPECT_EQ(workloads_for_threads(2).size(), 24U);
+  EXPECT_EQ(workloads_for_threads(4).size(), 14U);
+  EXPECT_EQ(workloads_for_threads(8).size(), 11U);
+  const auto singles = workloads_for_threads(1);
+  EXPECT_EQ(singles.size(), catalog().size());
+  EXPECT_EQ(singles[0].threads(), 1U);
+  EXPECT_THROW((void)workloads_for_threads(3), InvariantError);
+}
+
+}  // namespace
+}  // namespace plrupart::workloads

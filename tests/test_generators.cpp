@@ -1,0 +1,163 @@
+// Synthetic trace generation: determinism, address-space discipline, pacing,
+// pattern semantics, phase behavior.
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace plrupart::workloads {
+namespace {
+
+BenchmarkProfile tiny_profile() {
+  BenchmarkProfile p;
+  p.name = "test";
+  p.mem_fraction = 0.25;
+  p.write_fraction = 0.3;
+  p.components = {ComponentSpec{.kind = PatternKind::kRandomRegion,
+                                .region_bytes = 64 * 1024,
+                                .stride_bytes = 128,
+                                .weight = 1.0}};
+  return p;
+}
+
+TEST(SyntheticTrace, DeterministicPerSeed) {
+  SyntheticTrace a(tiny_profile(), 0, 42), b(tiny_profile(), 0, 42), c(tiny_profile(), 0, 43);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto oa = a.next();
+    const auto ob = b.next();
+    EXPECT_EQ(oa.addr, ob.addr);
+    EXPECT_EQ(oa.write, ob.write);
+    EXPECT_EQ(oa.gap_instrs, ob.gap_instrs);
+    if (oa.addr != c.next().addr) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(SyntheticTrace, ResetReplaysExactly) {
+  SyntheticTrace t(tiny_profile(), 0, 7);
+  std::vector<cache::Addr> first;
+  for (int i = 0; i < 500; ++i) first.push_back(t.next().addr);
+  t.reset();
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(t.next().addr, first[static_cast<std::size_t>(i)]);
+}
+
+TEST(SyntheticTrace, AddressesStayInsideRegions) {
+  auto profile = tiny_profile();
+  profile.components.push_back(ComponentSpec{.kind = PatternKind::kSequentialStream,
+                                             .region_bytes = 32 * 1024,
+                                             .stride_bytes = 128,
+                                             .weight = 0.5});
+  const std::uint64_t base = 1ULL << 40;
+  SyntheticTrace t(profile, base, 9);
+  const std::uint64_t span = 64 * 1024 + 32 * 1024;
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = t.next().addr;
+    ASSERT_GE(a, base);
+    ASSERT_LT(a, base + span);
+  }
+}
+
+TEST(SyntheticTrace, GapPacingMatchesMemFraction) {
+  SyntheticTrace t(tiny_profile(), 0, 3);  // mem_fraction 0.25 -> mean gap 3
+  std::uint64_t gaps = 0;
+  constexpr int n = 10000;
+  for (int i = 0; i < n; ++i) gaps += t.next().gap_instrs;
+  const double instr_per_op = 1.0 + static_cast<double>(gaps) / n;
+  EXPECT_NEAR(1.0 / instr_per_op, 0.25, 0.01) << "memory ops per instruction";
+}
+
+TEST(SyntheticTrace, WriteFractionRespected) {
+  SyntheticTrace t(tiny_profile(), 0, 5);
+  int writes = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) writes += t.next().write ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(writes) / n, 0.3, 0.02);
+}
+
+TEST(SyntheticTrace, SequentialStreamWrapsInOrder) {
+  BenchmarkProfile p = tiny_profile();
+  p.components = {ComponentSpec{.kind = PatternKind::kSequentialStream,
+                                .region_bytes = 1024,  // 8 lines of 128B
+                                .stride_bytes = 128,
+                                .weight = 1.0}};
+  SyntheticTrace t(p, 0, 1);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t l = 0; l < 8; ++l) {
+      EXPECT_EQ(t.next().addr, l * 128) << "round " << round;
+    }
+  }
+}
+
+TEST(SyntheticTrace, StridedLoopVisitsStridedLines) {
+  BenchmarkProfile p = tiny_profile();
+  p.components = {ComponentSpec{.kind = PatternKind::kStridedLoop,
+                                .region_bytes = 2048,  // 16 lines
+                                .stride_bytes = 512,   // 4 lines
+                                .weight = 1.0}};
+  SyntheticTrace t(p, 0, 1);
+  EXPECT_EQ(t.next().addr, 0ULL);
+  EXPECT_EQ(t.next().addr, 512ULL);
+  EXPECT_EQ(t.next().addr, 1024ULL);
+  EXPECT_EQ(t.next().addr, 1536ULL);
+  EXPECT_EQ(t.next().addr, 0ULL) << "wraps at the region";
+}
+
+TEST(SyntheticTrace, RandomRegionCoversItsLines) {
+  BenchmarkProfile p = tiny_profile();
+  p.components[0].region_bytes = 1024;  // 8 lines
+  SyntheticTrace t(p, 0, 17);
+  std::set<cache::Addr> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(t.next().addr / 128);
+  EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(SyntheticTrace, PhaseRotationShiftsDominantComponent) {
+  BenchmarkProfile p = tiny_profile();
+  p.components = {ComponentSpec{.kind = PatternKind::kRandomRegion,
+                                .region_bytes = 1024,
+                                .stride_bytes = 128,
+                                .weight = 0.95},
+                  ComponentSpec{.kind = PatternKind::kRandomRegion,
+                                .region_bytes = 1024,
+                                .stride_bytes = 128,
+                                .weight = 0.05}};
+  p.phase_period_ops = 1000;
+  SyntheticTrace t(p, 0, 23);
+  // Phase 0: component 0 (region [0,1024)) dominates.
+  int low = 0;
+  for (int i = 0; i < 1000; ++i) low += (t.next().addr < 1024) ? 1 : 0;
+  EXPECT_GT(low, 800);
+  EXPECT_EQ(t.phase(), 1ULL);
+  // Phase 1: weights rotate; component 1 (region [1024, 2048)) dominates.
+  int high = 0;
+  for (int i = 0; i < 1000; ++i) high += (t.next().addr >= 1024) ? 1 : 0;
+  EXPECT_GT(high, 800);
+}
+
+TEST(SyntheticTrace, MakeTraceSeparatesCores) {
+  const auto t0 = make_trace(tiny_profile(), 0, 9);
+  const auto t1 = make_trace(tiny_profile(), 1, 9);
+  for (int i = 0; i < 100; ++i) {
+    const auto a0 = t0->next().addr;
+    const auto a1 = t1->next().addr;
+    EXPECT_LT(a0, 2ULL << 40);
+    EXPECT_GE(a1, 2ULL << 40);
+  }
+}
+
+TEST(SyntheticTrace, RejectsDegenerateProfiles) {
+  BenchmarkProfile p = tiny_profile();
+  p.components.clear();
+  EXPECT_THROW(SyntheticTrace(p, 0, 1), InvariantError);
+  p = tiny_profile();
+  p.mem_fraction = 0.0;
+  EXPECT_THROW(SyntheticTrace(p, 0, 1), InvariantError);
+  p = tiny_profile();
+  p.components[0].region_bytes = 32;  // below one line
+  EXPECT_THROW(SyntheticTrace(p, 0, 1), InvariantError);
+}
+
+}  // namespace
+}  // namespace plrupart::workloads

@@ -1,0 +1,58 @@
+#include "cache/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plrupart::cache {
+namespace {
+
+TEST(Geometry, PaperBaselineShape) {
+  const Geometry g = paper_l2_geometry();
+  g.validate();
+  EXPECT_EQ(g.size_bytes, 2ULL * 1024 * 1024);
+  EXPECT_EQ(g.associativity, 16U);
+  EXPECT_EQ(g.line_bytes, 128U);
+  EXPECT_EQ(g.sets(), 1024ULL);
+  EXPECT_EQ(g.lines(), 16384ULL);
+}
+
+TEST(Geometry, AddressDecomposition) {
+  const Geometry g{.size_bytes = 64 * 1024, .associativity = 4, .line_bytes = 64};
+  g.validate();
+  EXPECT_EQ(g.sets(), 256ULL);
+  const Addr byte_addr = 0x12345678;
+  const Addr line = g.line_addr(byte_addr);
+  EXPECT_EQ(line, byte_addr / 64);
+  EXPECT_EQ(g.set_index(line), line % 256);
+  EXPECT_EQ(g.tag(line), line / 256);
+  // Reconstructing (tag, set) must identify the line uniquely.
+  EXPECT_EQ((g.tag(line) << 8) | g.set_index(line), line);
+}
+
+TEST(Geometry, SameSetDifferentTagConflict) {
+  const Geometry g{.size_bytes = 8 * 1024, .associativity = 2, .line_bytes = 64};
+  const Addr a = 0;
+  const Addr b = g.sets() * g.line_bytes;  // one full set stride later
+  EXPECT_EQ(g.set_index(g.line_addr(a)), g.set_index(g.line_addr(b)));
+  EXPECT_NE(g.tag(g.line_addr(a)), g.tag(g.line_addr(b)));
+}
+
+TEST(Geometry, ValidationRejectsBadShapes) {
+  Geometry g{.size_bytes = 3 * 1024, .associativity = 4, .line_bytes = 64};
+  EXPECT_THROW(g.validate(), InvariantError);
+  g = Geometry{.size_bytes = 4 * 1024, .associativity = 3, .line_bytes = 64};
+  EXPECT_THROW(g.validate(), InvariantError);
+  g = Geometry{.size_bytes = 4 * 1024, .associativity = 4, .line_bytes = 96};
+  EXPECT_THROW(g.validate(), InvariantError);
+  g = Geometry{.size_bytes = 128, .associativity = 4, .line_bytes = 64};
+  EXPECT_THROW(g.validate(), InvariantError);  // smaller than one set
+}
+
+TEST(Geometry, SingleSetCacheIsValid) {
+  const Geometry g{.size_bytes = 512, .associativity = 8, .line_bytes = 64};
+  g.validate();
+  EXPECT_EQ(g.sets(), 1ULL);
+  EXPECT_EQ(g.set_index(g.line_addr(0xABCDEF)), 0ULL);
+}
+
+}  // namespace
+}  // namespace plrupart::cache

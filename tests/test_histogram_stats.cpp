@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+
+namespace plrupart {
+namespace {
+
+TEST(Histogram, RecordAndCount) {
+  Histogram h(5);
+  h.record(0);
+  h.record(2, 3);
+  h.record(4);
+  EXPECT_EQ(h.count(0), 1ULL);
+  EXPECT_EQ(h.count(1), 0ULL);
+  EXPECT_EQ(h.count(2), 3ULL);
+  EXPECT_EQ(h.total(), 5ULL);
+}
+
+TEST(Histogram, OutOfRangeThrows) {
+  Histogram h(3);
+  EXPECT_THROW(h.record(3), InvariantError);
+  EXPECT_THROW(h.count(3), InvariantError);
+  EXPECT_THROW(Histogram(0), InvariantError);
+}
+
+TEST(Histogram, TailSum) {
+  Histogram h(4);
+  h.record(0, 1);
+  h.record(1, 2);
+  h.record(2, 3);
+  h.record(3, 4);
+  EXPECT_EQ(h.tail_sum(0), 10ULL);
+  EXPECT_EQ(h.tail_sum(2), 7ULL);
+  EXPECT_EQ(h.tail_sum(4), 0ULL);
+}
+
+TEST(Histogram, DecayHalvesEveryCounter) {
+  Histogram h(3);
+  h.record(0, 7);
+  h.record(1, 1);
+  h.record(2, 8);
+  h.decay_halve();
+  EXPECT_EQ(h.count(0), 3ULL);  // integer shift, like the hardware registers
+  EXPECT_EQ(h.count(1), 0ULL);
+  EXPECT_EQ(h.count(2), 4ULL);
+}
+
+TEST(Histogram, Clear) {
+  Histogram h(2);
+  h.record(1, 5);
+  h.clear();
+  EXPECT_EQ(h.total(), 0ULL);
+}
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8ULL);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0ULL);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(GeoMean, MatchesClosedForm) {
+  GeoMean g;
+  g.add(2.0);
+  g.add(8.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  EXPECT_THROW(g.add(0.0), InvariantError);
+}
+
+TEST(GeoMean, EmptyIsZero) {
+  GeoMean g;
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace plrupart

@@ -1,0 +1,153 @@
+// TrueLru is property-tested against an explicit recency-list reference model.
+#include "cache/lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace plrupart::cache {
+namespace {
+
+Geometry small_geo(std::uint32_t ways, std::uint64_t sets = 4) {
+  return Geometry{.size_bytes = sets * ways * 64, .associativity = ways, .line_bytes = 64};
+}
+
+/// Reference: per-set list of ways, front = MRU.
+class RecencyListModel {
+ public:
+  RecencyListModel(std::uint64_t sets, std::uint32_t ways) : sets_(sets) {
+    for (std::uint64_t s = 0; s < sets; ++s) {
+      std::list<std::uint32_t> l;
+      for (std::uint32_t w = 0; w < ways; ++w) l.push_back(w);
+      lists_.push_back(std::move(l));
+    }
+  }
+
+  void touch(std::uint64_t set, std::uint32_t way) {
+    auto& l = lists_[set];
+    l.remove(way);
+    l.push_front(way);
+  }
+
+  [[nodiscard]] std::uint32_t position(std::uint64_t set, std::uint32_t way) const {
+    std::uint32_t pos = 0;
+    for (const auto w : lists_[set]) {
+      if (w == way) return pos;
+      ++pos;
+    }
+    ADD_FAILURE() << "way not in model list";
+    return pos;
+  }
+
+  [[nodiscard]] std::uint32_t lru_in(std::uint64_t set, WayMask allowed) const {
+    for (auto it = lists_[set].rbegin(); it != lists_[set].rend(); ++it) {
+      if (mask_test(allowed, *it)) return *it;
+    }
+    ADD_FAILURE() << "empty allowed mask";
+    return 0;
+  }
+
+ private:
+  std::uint64_t sets_;
+  std::vector<std::list<std::uint32_t>> lists_;
+};
+
+TEST(TrueLru, InitialStackMatchesWayOrder) {
+  TrueLru lru(small_geo(4));
+  for (std::uint32_t w = 0; w < 4; ++w) EXPECT_EQ(lru.stack_position(0, w), w);
+}
+
+TEST(TrueLru, HitPromotesToMru) {
+  TrueLru lru(small_geo(4));
+  lru.on_hit(0, 2, lru.all_ways());
+  EXPECT_EQ(lru.stack_position(0, 2), 0U);
+  EXPECT_EQ(lru.stack_position(0, 0), 1U);  // shifted down
+  EXPECT_EQ(lru.stack_position(0, 1), 2U);
+  EXPECT_EQ(lru.stack_position(0, 3), 3U);  // deeper lines unaffected
+}
+
+TEST(TrueLru, PaperFigure2Example) {
+  // 4-way set holding {A,B,C,D} with A=MRU..D=LRU; after accesses C, D the
+  // stack is D,C,A,B and a re-access to D has stack distance 1.
+  TrueLru lru(small_geo(4));
+  // Build the initial A,B,C,D recency (way0=A .. way3=D).
+  for (std::uint32_t w = 4; w-- > 0;) lru.on_hit(0, w, lru.all_ways());
+  EXPECT_EQ(lru.stack_position(0, 0), 0U);
+  lru.on_hit(0, 2, lru.all_ways());  // C
+  lru.on_hit(0, 3, lru.all_ways());  // D
+  const auto est = lru.estimate_position(0, 3);
+  EXPECT_EQ(est.point, 1U);
+  EXPECT_EQ(est.lo, est.hi);
+  // B (way 1) was degraded to the LRU position.
+  EXPECT_EQ(lru.stack_position(0, 1), 3U);
+}
+
+TEST(TrueLru, VictimIsDeepestInAllowedMask) {
+  TrueLru lru(small_geo(8));
+  // Touch ways 0..7 in order: way 0 oldest.
+  for (std::uint32_t w = 0; w < 8; ++w) lru.on_hit(0, w, lru.all_ways());
+  EXPECT_EQ(lru.choose_victim(0, full_way_mask(8)), 0U);
+  EXPECT_EQ(lru.choose_victim(0, 0b10000010), 1U);  // way 1 older than way 7
+  EXPECT_EQ(lru.choose_victim(0, 0b10000000), 7U);  // singleton mask
+}
+
+TEST(TrueLru, MatchesRecencyListModelUnderRandomOps) {
+  const auto geo = small_geo(8, 8);
+  TrueLru lru(geo);
+  RecencyListModel model(geo.sets(), geo.associativity);
+  Rng rng(2024);
+
+  for (int step = 0; step < 20000; ++step) {
+    const auto set = rng.next_below(geo.sets());
+    if (rng.next_bool(0.7)) {
+      const auto way = static_cast<std::uint32_t>(rng.next_below(geo.associativity));
+      lru.on_hit(set, way, lru.all_ways());
+      model.touch(set, way);
+    } else {
+      // Random non-empty allowed mask.
+      WayMask allowed = rng.next_below(full_way_mask(geo.associativity)) + 1;
+      const auto victim = lru.choose_victim(set, allowed);
+      EXPECT_EQ(victim, model.lru_in(set, allowed));
+      lru.on_fill(set, victim, lru.all_ways());
+      model.touch(set, victim);
+    }
+    // Spot-check full stack agreement.
+    if (step % 500 == 0) {
+      for (std::uint32_t w = 0; w < geo.associativity; ++w) {
+        ASSERT_EQ(lru.stack_position(set, w), model.position(set, w));
+      }
+    }
+  }
+}
+
+TEST(TrueLru, EstimateIsExactOneBased) {
+  TrueLru lru(small_geo(4));
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    const auto est = lru.estimate_position(0, w);
+    EXPECT_EQ(est.lo, est.hi);
+    EXPECT_EQ(est.point, lru.stack_position(0, w) + 1);
+  }
+}
+
+TEST(TrueLru, ResetRestoresInitialState) {
+  TrueLru lru(small_geo(4));
+  lru.on_hit(0, 3, lru.all_ways());
+  lru.reset();
+  for (std::uint32_t w = 0; w < 4; ++w) EXPECT_EQ(lru.stack_position(0, w), w);
+}
+
+TEST(TrueLru, SetsAreIndependent) {
+  TrueLru lru(small_geo(4, 4));
+  lru.on_hit(1, 3, lru.all_ways());
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(lru.stack_position(0, w), w);
+    EXPECT_EQ(lru.stack_position(2, w), w);
+  }
+}
+
+}  // namespace
+}  // namespace plrupart::cache

@@ -1,0 +1,51 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plrupart::metrics {
+namespace {
+
+TEST(Metrics, ThroughputIsTheSum) {
+  EXPECT_DOUBLE_EQ(throughput({1.5, 2.5, 1.0}), 5.0);
+  EXPECT_DOUBLE_EQ(throughput({}), 0.0);
+}
+
+TEST(Metrics, WeightedSpeedupHandComputed) {
+  // IPCs 1.0 and 2.0 against isolation 2.0 and 2.0: 0.5 + 1.0.
+  EXPECT_DOUBLE_EQ(weighted_speedup({1.0, 2.0}, {2.0, 2.0}), 1.5);
+}
+
+TEST(Metrics, HarmonicMeanHandComputed) {
+  // Relative IPCs 0.5 and 1.0: 2 / (2 + 1) = 2/3.
+  EXPECT_NEAR(harmonic_mean_speedup({1.0, 2.0}, {2.0, 2.0}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, NoSlowdownGivesIdentity) {
+  const std::vector<double> ipcs{1.2, 0.8, 2.0};
+  EXPECT_DOUBLE_EQ(weighted_speedup(ipcs, ipcs), 3.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean_speedup(ipcs, ipcs), 1.0);
+}
+
+TEST(Metrics, HarmonicNeverExceedsArithmeticMeanOfSpeedups) {
+  const std::vector<double> ipcs{0.9, 1.4, 0.3, 2.0};
+  const std::vector<double> iso{1.0, 2.0, 0.5, 2.5};
+  const double hm = harmonic_mean_speedup(ipcs, iso);
+  const double am = weighted_speedup(ipcs, iso) / 4.0;
+  EXPECT_LE(hm, am + 1e-12);
+}
+
+TEST(Metrics, ComputeBundlesAllThree) {
+  const auto m = compute({1.0, 1.0}, {2.0, 1.0});
+  EXPECT_DOUBLE_EQ(m.throughput, 2.0);
+  EXPECT_DOUBLE_EQ(m.weighted_speedup, 1.5);
+  EXPECT_NEAR(m.harmonic_mean, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, SizeMismatchRejected) {
+  EXPECT_THROW((void)weighted_speedup({1.0}, {1.0, 2.0}), InvariantError);
+  EXPECT_THROW((void)harmonic_mean_speedup({}, {}), InvariantError);
+  EXPECT_THROW((void)weighted_speedup({1.0}, {0.0}), InvariantError);
+}
+
+}  // namespace
+}  // namespace plrupart::metrics

@@ -1,0 +1,52 @@
+#include "core/miss_curve.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plrupart::core {
+namespace {
+
+TEST(MissCurve, FromSdhMatchesRegisters) {
+  Sdh sdh(4);
+  sdh.record_hit(1);
+  sdh.record_hit(1);
+  sdh.record_hit(3);
+  sdh.record_miss();
+  const auto c = MissCurve::from_sdh(sdh);
+  EXPECT_EQ(c.max_ways(), 4U);
+  EXPECT_DOUBLE_EQ(c.misses(0), 4.0);
+  EXPECT_DOUBLE_EQ(c.misses(1), 2.0);
+  EXPECT_DOUBLE_EQ(c.misses(2), 2.0);
+  EXPECT_DOUBLE_EQ(c.misses(3), 1.0);
+  EXPECT_DOUBLE_EQ(c.misses(4), 1.0);
+  EXPECT_DOUBLE_EQ(c.accesses(), 4.0);
+}
+
+TEST(MissCurve, SamplingScaleMultiplies) {
+  Sdh sdh(2);
+  sdh.record_hit(1);
+  sdh.record_miss();
+  const auto c = MissCurve::from_sdh(sdh, 32.0);
+  EXPECT_DOUBLE_EQ(c.misses(0), 64.0);
+  EXPECT_DOUBLE_EQ(c.misses(2), 32.0);
+}
+
+TEST(MissCurve, MarginalGain) {
+  const MissCurve c({10.0, 6.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(c.marginal_gain(0), 4.0);
+  EXPECT_DOUBLE_EQ(c.marginal_gain(1), 3.0);
+  EXPECT_DOUBLE_EQ(c.marginal_gain(2), 0.0);
+}
+
+TEST(MissCurve, ConvexityDetection) {
+  EXPECT_TRUE(MissCurve({10, 6, 3, 1, 0}).is_convex());
+  EXPECT_FALSE(MissCurve({10, 9, 2, 1, 1}).is_convex());  // big gain appears late
+}
+
+TEST(MissCurve, RejectsIncreasingOrNegative) {
+  EXPECT_THROW(MissCurve({5.0, 6.0}), InvariantError);
+  EXPECT_THROW(MissCurve({5.0}), InvariantError);  // needs at least ways 0..1
+  EXPECT_THROW(MissCurve({-1.0, -2.0}), InvariantError);
+}
+
+}  // namespace
+}  // namespace plrupart::core

@@ -1,0 +1,161 @@
+// NRU semantics: used bits, saturation reset, the cache-global replacement
+// pointer, and the paper's Fig. 3 profiling scenarios.
+#include "cache/nru.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace plrupart::cache {
+namespace {
+
+Geometry small_geo(std::uint32_t ways, std::uint64_t sets = 4) {
+  return Geometry{.size_bytes = sets * ways * 64, .associativity = ways, .line_bytes = 64};
+}
+
+TEST(Nru, AccessSetsUsedBit) {
+  Nru nru(small_geo(4));
+  EXPECT_EQ(nru.used_count(0), 0U);
+  nru.on_fill(0, 1, nru.all_ways());
+  EXPECT_TRUE(nru.used_bit(0, 1));
+  nru.on_hit(0, 3, nru.all_ways());
+  EXPECT_EQ(nru.used_count(0), 2U);
+}
+
+TEST(Nru, SaturationResetsAllButAccessed) {
+  Nru nru(small_geo(4));
+  for (std::uint32_t w = 0; w < 3; ++w) nru.on_hit(0, w, nru.all_ways());
+  EXPECT_EQ(nru.used_count(0), 3U);
+  // The fourth access would saturate: everything resets except it.
+  nru.on_hit(0, 3, nru.all_ways());
+  EXPECT_EQ(nru.used_count(0), 1U);
+  EXPECT_TRUE(nru.used_bit(0, 3));
+}
+
+TEST(Nru, BaseInvariantNeverAllUsed) {
+  Nru nru(small_geo(8, 2));
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto set = rng.next_below(2);
+    const auto way = static_cast<std::uint32_t>(rng.next_below(8));
+    nru.on_hit(set, way, nru.all_ways());
+    ASSERT_LT(nru.used_count(set), 8U);
+  }
+}
+
+TEST(Nru, VictimHasClearUsedBitAndPointerAdvances) {
+  Nru nru(small_geo(4));
+  nru.on_hit(0, 0, nru.all_ways());
+  nru.on_hit(0, 1, nru.all_ways());
+  // Pointer starts at 0; ways 0,1 are used; first clear way at/after 0 is 2.
+  const auto victim = nru.choose_victim(0, nru.all_ways());
+  EXPECT_EQ(victim, 2U);
+  EXPECT_EQ(nru.replacement_pointer(), 3U);
+}
+
+TEST(Nru, PointerWrapsCircularly) {
+  Nru nru(small_geo(4));
+  // Consume victims to rotate the pointer near the end.
+  EXPECT_EQ(nru.choose_victim(0, nru.all_ways()), 0U);
+  EXPECT_EQ(nru.choose_victim(0, nru.all_ways()), 1U);
+  EXPECT_EQ(nru.choose_victim(0, nru.all_ways()), 2U);
+  EXPECT_EQ(nru.choose_victim(0, nru.all_ways()), 3U);
+  // Pointer is back at 0.
+  EXPECT_EQ(nru.replacement_pointer(), 0U);
+  EXPECT_EQ(nru.choose_victim(0, nru.all_ways()), 0U);
+}
+
+TEST(Nru, PointerIsGlobalAcrossSets) {
+  Nru nru(small_geo(4, 4));
+  EXPECT_EQ(nru.choose_victim(0, nru.all_ways()), 0U);
+  // A different set starts scanning from the shared pointer (1), not from 0.
+  EXPECT_EQ(nru.choose_victim(2, nru.all_ways()), 1U);
+}
+
+TEST(Nru, VictimRespectsAllowedMask) {
+  Nru nru(small_geo(8));
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const WayMask allowed = rng.next_below(full_way_mask(8)) + 1;
+    const auto victim = nru.choose_victim(0, allowed);
+    ASSERT_TRUE(mask_test(allowed, victim));
+    if (rng.next_bool(0.5)) nru.on_fill(0, victim, allowed);
+  }
+}
+
+TEST(Nru, AllAllowedUsedTriggersScopedReset) {
+  Nru nru(small_geo(4));
+  const WayMask partition = 0b0011;  // core owns ways 0,1
+  nru.on_hit(0, 0, partition);
+  nru.on_hit(0, 1, partition);  // scope {0,1} saturates: resets except way 1
+  EXPECT_FALSE(nru.used_bit(0, 0));
+  EXPECT_TRUE(nru.used_bit(0, 1));
+  // Make both used via a larger scope, then ask for a victim inside the
+  // partition: the policy must reset the scope and still return a legal way.
+  nru.on_hit(0, 0, nru.all_ways());
+  const auto victim = nru.choose_victim(0, partition);
+  EXPECT_TRUE(mask_test(partition, victim));
+}
+
+TEST(Nru, SaturationScopeLeavesOtherPartitionAlone) {
+  Nru nru(small_geo(4));
+  nru.on_hit(0, 2, nru.all_ways());  // another core's line
+  const WayMask partition = 0b0011;
+  nru.on_hit(0, 0, partition);
+  nru.on_hit(0, 1, partition);  // saturates scope {0,1}
+  EXPECT_TRUE(nru.used_bit(0, 2)) << "reset must not clear bits outside the scope";
+}
+
+// --- Paper Fig. 3: profiling estimates -------------------------------------
+
+TEST(Nru, Fig3aUsedBitSetEstimate) {
+  // Set holds {A,B,C,D}; after accesses C, D both their used bits are 1.
+  // Accessing D again: U = 2, estimate within [1, 2], point = U = 2.
+  Nru nru(small_geo(4));
+  nru.on_hit(0, 2, nru.all_ways());  // C
+  nru.on_hit(0, 3, nru.all_ways());  // D
+  const auto est = nru.estimate_position(0, 3);
+  EXPECT_EQ(est.lo, 1U);
+  EXPECT_EQ(est.hi, 2U);
+  EXPECT_EQ(est.point, 2U);
+}
+
+TEST(Nru, Fig3bUsedBitClearEstimate) {
+  // Accesses A, B set their bits; C's bit is 0: estimate within [U+1, A] =
+  // [3, 4], point = A = 4.
+  Nru nru(small_geo(4));
+  nru.on_hit(0, 0, nru.all_ways());  // A
+  nru.on_hit(0, 1, nru.all_ways());  // B
+  const auto est = nru.estimate_position(0, 2);  // C
+  EXPECT_EQ(est.lo, 3U);
+  EXPECT_EQ(est.hi, 4U);
+  EXPECT_EQ(est.point, 4U);
+}
+
+TEST(Nru, EstimateBoundsAlwaysSane) {
+  Nru nru(small_geo(8, 2));
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    const auto set = rng.next_below(2);
+    const auto way = static_cast<std::uint32_t>(rng.next_below(8));
+    const auto est = nru.estimate_position(set, way);
+    ASSERT_GE(est.lo, 1U);
+    ASSERT_LE(est.hi, 8U);
+    ASSERT_LE(est.lo, est.hi);
+    ASSERT_GE(est.point, est.lo);
+    ASSERT_LE(est.point, est.hi);
+    nru.on_hit(set, way, nru.all_ways());
+  }
+}
+
+TEST(Nru, ResetClearsState) {
+  Nru nru(small_geo(4));
+  nru.on_hit(0, 1, nru.all_ways());
+  (void)nru.choose_victim(0, nru.all_ways());
+  nru.reset();
+  EXPECT_EQ(nru.used_count(0), 0U);
+  EXPECT_EQ(nru.replacement_pointer(), 0U);
+}
+
+}  // namespace
+}  // namespace plrupart::cache

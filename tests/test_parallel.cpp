@@ -1,0 +1,56 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace plrupart {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelFor, SingleThreadFallbackIsSequential) {
+  std::vector<std::size_t> order;
+  parallel_for(
+      10, [&](std::size_t i) { order.push_back(i); }, /*threads=*/1);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
+  std::atomic<int> sum{0};
+  parallel_for(
+      3, [&](std::size_t i) { sum += static_cast<int>(i); }, /*threads=*/64);
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelMap, ProducesOrderedResults) {
+  const auto squares =
+      parallel_map<std::size_t>(100, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(DefaultParallelism, AtLeastOne) { EXPECT_GE(default_parallelism(), 1U); }
+
+}  // namespace
+}  // namespace plrupart

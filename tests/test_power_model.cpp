@@ -1,0 +1,107 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plrupart::power {
+namespace {
+
+ActivityCounters baseline_activity() {
+  ActivityCounters a;
+  a.instructions = 10'000'000;
+  a.l2_accesses = 500'000;
+  a.l2_misses = 50'000;
+  a.wall_cycles = 8'000'000.0;
+  a.cores = 2;
+  a.atds = 2;
+  a.sampling_ratio = 32;
+  return a;
+}
+
+PowerModel paper_model(cache::ReplacementKind kind = cache::ReplacementKind::kLru,
+                       bool partitioned = true) {
+  return PowerModel(PowerParams{}, cache::paper_l2_geometry(), kind, partitioned, 2);
+}
+
+TEST(PowerModel, AllComponentsPositive) {
+  const auto p = paper_model().evaluate(baseline_activity());
+  EXPECT_GT(p.cores_w, 0.0);
+  EXPECT_GT(p.l2_w, 0.0);
+  EXPECT_GT(p.replacement_w, 0.0);
+  EXPECT_GT(p.profiling_w, 0.0);
+  EXPECT_GT(p.memory_w, 0.0);
+  EXPECT_DOUBLE_EQ(p.total_w(),
+                   p.cores_w + p.l2_w + p.replacement_w + p.profiling_w + p.memory_w);
+}
+
+TEST(PowerModel, MoreMissesMoreMemoryPower) {
+  const auto model = paper_model();
+  auto low = baseline_activity();
+  auto high = baseline_activity();
+  high.l2_misses *= 4;
+  EXPECT_GT(model.evaluate(high).memory_w, model.evaluate(low).memory_w);
+  EXPECT_GT(model.evaluate(high).total_w(), model.evaluate(low).total_w());
+}
+
+TEST(PowerModel, MemoryAccessIs150xL2Access) {
+  // With equal access counts, memory dynamic power must be 150x the L2
+  // dynamic share attributable to those accesses.
+  PowerParams params;
+  PowerModel model(params, cache::paper_l2_geometry(), cache::ReplacementKind::kLru,
+                   false, 1);
+  auto a = baseline_activity();
+  a.atds = 0;
+  a.l2_misses = a.l2_accesses;  // every access goes to memory
+  const auto p = model.evaluate(a);
+  const double l2_mib = 2.0;
+  const double l2_dynamic = p.l2_w - l2_mib * params.l2_leakage_w_per_mib;
+  EXPECT_NEAR(p.memory_w / l2_dynamic, 150.0, 1e-6);
+}
+
+TEST(PowerModel, ProfilingPowerIsNegligible) {
+  // Paper §V-C: the profiling logic always stays below 0.3% of total power.
+  const auto p = paper_model().evaluate(baseline_activity());
+  EXPECT_LT(p.profiling_w / p.total_w(), 0.003);
+}
+
+TEST(PowerModel, UnpartitionedHasNoProfilingPower) {
+  auto a = baseline_activity();
+  a.atds = 0;
+  const auto p = paper_model(cache::ReplacementKind::kLru, false).evaluate(a);
+  EXPECT_DOUBLE_EQ(p.profiling_w, 0.0);
+}
+
+TEST(PowerModel, LruReplacementLeaksMoreThanPseudoLru) {
+  const auto a = baseline_activity();
+  const auto lru = paper_model(cache::ReplacementKind::kLru).evaluate(a);
+  const auto nru = paper_model(cache::ReplacementKind::kNru).evaluate(a);
+  const auto bt = paper_model(cache::ReplacementKind::kTreePlru).evaluate(a);
+  EXPECT_GT(lru.replacement_w, nru.replacement_w);
+  EXPECT_GT(nru.replacement_w, bt.replacement_w);
+}
+
+TEST(PowerModel, AggregateCpiDefinition) {
+  auto a = baseline_activity();
+  a.cores = 2;
+  a.instructions = 4'000'000;
+  a.wall_cycles = 6'000'000.0;
+  EXPECT_DOUBLE_EQ(PowerModel::aggregate_cpi(a), 3.0);
+}
+
+TEST(PowerModel, EnergyMetricIsCpiTimesPower) {
+  const auto p = paper_model().evaluate(baseline_activity());
+  const double cpi = PowerModel::aggregate_cpi(baseline_activity());
+  EXPECT_DOUBLE_EQ(p.energy_metric(cpi), cpi * p.total_w());
+}
+
+TEST(PowerModel, FasterRunBurnsHigherPowerSameEnergy) {
+  // Halving wall cycles with identical event counts doubles dynamic power
+  // contributions: energy per work is what stays comparable.
+  const auto model = paper_model();
+  auto slow = baseline_activity();
+  auto fast = baseline_activity();
+  fast.wall_cycles /= 2;
+  EXPECT_GT(model.evaluate(fast).memory_w, model.evaluate(slow).memory_w);
+}
+
+}  // namespace
+}  // namespace plrupart::power

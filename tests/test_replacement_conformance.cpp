@@ -1,0 +1,131 @@
+// Parameterized conformance suite: every replacement policy must satisfy the
+// contract SetAssocCache relies on, across geometries.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "cache/replacement.hpp"
+#include "common/rng.hpp"
+
+namespace plrupart::cache {
+namespace {
+
+using Param = std::tuple<ReplacementKind, std::uint32_t /*ways*/, std::uint64_t /*sets*/>;
+
+class ReplacementConformance : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const auto [kind, ways, sets] = GetParam();
+    geo_ = Geometry{.size_bytes = sets * ways * 64,
+                    .associativity = ways,
+                    .line_bytes = 64};
+    policy_ = make_policy(kind, geo_, /*seed=*/77);
+  }
+
+  Geometry geo_{};
+  std::unique_ptr<ReplacementPolicy> policy_;
+};
+
+TEST_P(ReplacementConformance, ReportsItsKindAndShape) {
+  EXPECT_EQ(policy_->kind(), std::get<0>(GetParam()));
+  EXPECT_EQ(policy_->ways(), geo_.associativity);
+  EXPECT_EQ(policy_->sets(), geo_.sets());
+}
+
+TEST_P(ReplacementConformance, VictimAlwaysInsideAllowedMask) {
+  Rng rng(123);
+  for (int i = 0; i < 4000; ++i) {
+    const auto set = rng.next_below(geo_.sets());
+    const WayMask allowed =
+        rng.next_below(full_way_mask(geo_.associativity)) + 1;
+    const auto victim = policy_->choose_victim(set, allowed);
+    ASSERT_LT(victim, geo_.associativity);
+    ASSERT_TRUE(mask_test(allowed, victim));
+  }
+}
+
+TEST_P(ReplacementConformance, SingletonMaskForcesTheWay) {
+  Rng rng(5);
+  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
+    const auto set = rng.next_below(geo_.sets());
+    EXPECT_EQ(policy_->choose_victim(set, WayMask{1} << w), w);
+  }
+}
+
+TEST_P(ReplacementConformance, EstimateWithinStackBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const auto set = rng.next_below(geo_.sets());
+    const auto way = static_cast<std::uint32_t>(rng.next_below(geo_.associativity));
+    const auto est = policy_->estimate_position(set, way);
+    ASSERT_GE(est.lo, 1U);
+    ASSERT_LE(est.hi, geo_.associativity);
+    ASSERT_LE(est.lo, est.hi);
+    ASSERT_GE(est.point, est.lo);
+    ASSERT_LE(est.point, est.hi);
+    if (rng.next_bool(0.5))
+      policy_->on_hit(set, way, policy_->all_ways());
+    else
+      policy_->on_fill(set, way, policy_->all_ways());
+  }
+}
+
+TEST_P(ReplacementConformance, DeterministicAcrossInstances) {
+  auto other = make_policy(std::get<0>(GetParam()), geo_, /*seed=*/77);
+  Rng ops(321);
+  for (int i = 0; i < 3000; ++i) {
+    const auto set = ops.next_below(geo_.sets());
+    if (ops.next_bool(0.6)) {
+      const auto way = static_cast<std::uint32_t>(ops.next_below(geo_.associativity));
+      policy_->on_hit(set, way, policy_->all_ways());
+      other->on_hit(set, way, other->all_ways());
+    } else {
+      const WayMask allowed = ops.next_below(full_way_mask(geo_.associativity)) + 1;
+      ASSERT_EQ(policy_->choose_victim(set, allowed), other->choose_victim(set, allowed));
+    }
+  }
+}
+
+TEST_P(ReplacementConformance, ResetRestoresDeterminism) {
+  Rng warm(55);
+  for (int i = 0; i < 500; ++i) {
+    policy_->on_hit(warm.next_below(geo_.sets()),
+                    static_cast<std::uint32_t>(warm.next_below(geo_.associativity)),
+                    policy_->all_ways());
+  }
+  policy_->reset();
+  auto fresh = make_policy(std::get<0>(GetParam()), geo_, /*seed=*/77);
+  Rng ops(66);
+  for (int i = 0; i < 1000; ++i) {
+    const auto set = ops.next_below(geo_.sets());
+    const WayMask allowed = ops.next_below(full_way_mask(geo_.associativity)) + 1;
+    ASSERT_EQ(policy_->choose_victim(set, allowed), fresh->choose_victim(set, allowed));
+    const auto way = static_cast<std::uint32_t>(ops.next_below(geo_.associativity));
+    policy_->on_fill(set, way, policy_->all_ways());
+    fresh->on_fill(set, way, fresh->all_ways());
+  }
+}
+
+TEST_P(ReplacementConformance, EmptyMaskIsRejected) {
+  EXPECT_THROW((void)policy_->choose_victim(0, WayMask{0}), InvariantError);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return to_string(std::get<0>(info.param)) + "_w" +
+         std::to_string(std::get<1>(info.param)) + "_s" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAndShapes, ReplacementConformance,
+    ::testing::Combine(::testing::Values(ReplacementKind::kLru, ReplacementKind::kNru,
+                                         ReplacementKind::kTreePlru,
+                                         ReplacementKind::kRandom,
+                                         ReplacementKind::kSrrip),
+                       ::testing::Values(2U, 4U, 16U),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{64})),
+    param_name);
+
+}  // namespace
+}  // namespace plrupart::cache

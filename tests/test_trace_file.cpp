@@ -1,0 +1,118 @@
+// Trace file I/O: format round trips, playback semantics, error handling.
+#include "sim/trace_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "workloads/catalog.hpp"
+#include "workloads/generators.hpp"
+
+namespace plrupart::sim {
+namespace {
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("plrupart_trace_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceFileTest, RoundTripPreservesEveryField) {
+  const std::vector<MemOp> ops{
+      {.addr = 0x1000, .write = false, .gap_instrs = 3},
+      {.addr = 0xdeadbeef, .write = true, .gap_instrs = 0},
+      {.addr = 0xffffffffffff, .write = false, .gap_instrs = 1000},
+  };
+  write_trace_file(path("t.trace"), ops);
+  FileTraceSource src(path("t.trace"));
+  ASSERT_EQ(src.size(), ops.size());
+  for (const auto& expected : ops) {
+    const auto got = src.next();
+    EXPECT_EQ(got.addr, expected.addr);
+    EXPECT_EQ(got.write, expected.write);
+    EXPECT_EQ(got.gap_instrs, expected.gap_instrs);
+  }
+}
+
+TEST_F(TraceFileTest, LoopsAtEndOfTrace) {
+  write_trace_file(path("loop.trace"), {{.addr = 0x40, .write = false, .gap_instrs = 1},
+                                        {.addr = 0x80, .write = true, .gap_instrs = 2}});
+  FileTraceSource src(path("loop.trace"));
+  EXPECT_EQ(src.next().addr, 0x40ULL);
+  EXPECT_EQ(src.next().addr, 0x80ULL);
+  EXPECT_EQ(src.next().addr, 0x40ULL) << "source must wrap";
+}
+
+TEST_F(TraceFileTest, ResetRestarts) {
+  write_trace_file(path("r.trace"), {{.addr = 0x40, .write = false, .gap_instrs = 1},
+                                     {.addr = 0x80, .write = false, .gap_instrs = 1}});
+  FileTraceSource src(path("r.trace"));
+  (void)src.next();
+  src.reset();
+  EXPECT_EQ(src.next().addr, 0x40ULL);
+}
+
+TEST_F(TraceFileTest, RecordedSyntheticTraceReplaysIdentically) {
+  const auto& profile = workloads::benchmark("gzip");
+  const auto original = workloads::make_trace(profile, 0, 7);
+  const auto ops = record_trace(*original, 5000);
+  write_trace_file(path("gzip.trace"), ops);
+
+  original->reset();
+  FileTraceSource replay(path("gzip.trace"));
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = original->next();
+    const auto b = replay.next();
+    ASSERT_EQ(a.addr, b.addr) << "op " << i;
+    ASSERT_EQ(a.write, b.write) << "op " << i;
+    ASSERT_EQ(a.gap_instrs, b.gap_instrs) << "op " << i;
+  }
+}
+
+TEST_F(TraceFileTest, CommentsAndBlankLinesIgnored) {
+  std::ofstream out(path("c.trace"));
+  out << "# plrupart-trace v1\n\n# a comment\n5 1a2b R\n\n";
+  out.close();
+  FileTraceSource src(path("c.trace"));
+  EXPECT_EQ(src.size(), 1U);
+  EXPECT_EQ(src.next().addr, 0x1a2bULL);
+}
+
+TEST_F(TraceFileTest, RejectsMissingHeader) {
+  std::ofstream out(path("bad.trace"));
+  out << "5 1a2b R\n";
+  out.close();
+  EXPECT_THROW(FileTraceSource{path("bad.trace")}, InvariantError);
+}
+
+TEST_F(TraceFileTest, RejectsMalformedRecords) {
+  for (const char* body : {"xyz 1a2b R", "5 zz R", "5 1a2b X", "5"}) {
+    std::ofstream out(path("bad.trace"));
+    out << "# plrupart-trace v1\n" << body << "\n";
+    out.close();
+    EXPECT_THROW(FileTraceSource{path("bad.trace")}, InvariantError) << body;
+  }
+}
+
+TEST_F(TraceFileTest, RejectsMissingAndEmptyFiles) {
+  EXPECT_THROW(FileTraceSource{path("nope.trace")}, InvariantError);
+  std::ofstream out(path("empty.trace"));
+  out << "# plrupart-trace v1\n";
+  out.close();
+  EXPECT_THROW(FileTraceSource{path("empty.trace")}, InvariantError);
+  EXPECT_THROW(write_trace_file(path("w.trace"), {}), InvariantError);
+}
+
+}  // namespace
+}  // namespace plrupart::sim

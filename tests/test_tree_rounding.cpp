@@ -1,0 +1,120 @@
+// Tree-feasible partitions: power-of-two rounding (Kraft equality), buddy
+// placement, and the tree-restricted MinMisses DP.
+#include "core/tree_rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/min_misses.hpp"
+
+namespace plrupart::core {
+namespace {
+
+Partition random_partition(Rng& rng, std::uint32_t n, std::uint32_t total) {
+  Partition p(n, 1);
+  for (std::uint32_t k = 0; k < total - n; ++k) {
+    ++p[rng.next_below(n)];
+  }
+  return p;
+}
+
+TEST(TreeRounding, Pow2PartitionProperties) {
+  Rng rng(404);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint32_t total = 16;
+    const std::uint32_t n = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+    const auto ideal = random_partition(rng, n, total);
+    const auto rounded = round_to_pow2_partition(ideal, total);
+    validate_partition(rounded, total);
+    for (std::size_t i = 0; i < rounded.size(); ++i) {
+      ASSERT_TRUE(is_pow2(rounded[i]));
+      ASSERT_GE(rounded[i], 1U);
+    }
+    ASSERT_EQ(std::accumulate(rounded.begin(), rounded.end(), 0U), total);
+  }
+}
+
+TEST(TreeRounding, ExactPow2PartitionIsUntouched) {
+  EXPECT_EQ(round_to_pow2_partition({8, 8}, 16), (Partition{8, 8}));
+  EXPECT_EQ(round_to_pow2_partition({8, 4, 2, 2}, 16), (Partition{8, 4, 2, 2}));
+  EXPECT_EQ(round_to_pow2_partition({16}, 16), Partition{16});
+}
+
+TEST(TreeRounding, DoublingRespectsTheBudgetGap) {
+  // Ideal 12/4 floors to 8/4 (sum 12, gap 4). Core 0 cannot double (8 > gap),
+  // so core 1 takes the remaining quarter: 8/8.
+  EXPECT_EQ(round_to_pow2_partition({12, 4}, 16), (Partition{8, 8}));
+  // Ideal 9/7 floors to 8/4: same mechanics.
+  EXPECT_EQ(round_to_pow2_partition({9, 7}, 16), (Partition{8, 8}));
+}
+
+TEST(TreePlacement, BlocksAreDisjointAlignedAndCover) {
+  Rng rng(55);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint32_t total = 16;
+    const std::uint32_t n = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+    const auto sizes = round_to_pow2_partition(random_partition(rng, n, total), total);
+    const auto masks = place_pow2_blocks(sizes, total);
+    WayMask all = 0;
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      ASSERT_EQ(mask_count(masks[i]), sizes[i]);
+      const auto first = mask_first(masks[i]);
+      ASSERT_EQ(masks[i], way_range_mask(first, sizes[i])) << "contiguous";
+      ASSERT_EQ(first % sizes[i], 0U) << "aligned";
+      ASSERT_EQ(all & masks[i], 0ULL) << "disjoint";
+      all |= masks[i];
+    }
+    ASSERT_EQ(all, full_way_mask(total)) << "covering";
+  }
+}
+
+TEST(TreePlacement, MasksReturnInCoreOrder) {
+  const auto masks = place_pow2_blocks({2, 8, 2, 4}, 16);
+  EXPECT_EQ(mask_count(masks[0]), 2U);
+  EXPECT_EQ(mask_count(masks[1]), 8U);
+  EXPECT_EQ(mask_count(masks[2]), 2U);
+  EXPECT_EQ(mask_count(masks[3]), 4U);
+}
+
+TEST(MinMissesTree, NeverBeatsUnrestrictedAndAlwaysFeasible) {
+  Rng rng(808);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<MissCurve> curves;
+    const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng.next_below(3));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::vector<double> v(17);
+      v[0] = 1000.0 + rng.next_double() * 5000.0;
+      for (std::uint32_t w = 1; w <= 16; ++w)
+        v[w] = v[w - 1] * (0.7 + rng.next_double() * 0.3);
+      curves.push_back(MissCurve(std::move(v)));
+    }
+    const auto tree = min_misses_tree(curves, 16);
+    validate_partition(tree, 16);
+    for (const auto w : tree) ASSERT_TRUE(is_pow2(w));
+
+    const auto unrestricted = min_misses_optimal(curves, 16);
+    EXPECT_GE(partition_cost(curves, tree) + 1e-9, partition_cost(curves, unrestricted));
+
+    // The tree DP is optimal within the power-of-two class: rounding the
+    // unrestricted optimum cannot do better.
+    const auto rounded = round_to_pow2_partition(unrestricted, 16);
+    EXPECT_LE(partition_cost(curves, tree), partition_cost(curves, rounded) + 1e-9);
+  }
+}
+
+TEST(MakeTreeEnforcement, VectorsMatchMasks) {
+  const cache::Geometry g{.size_bytes = 16 * 16 * 64, .associativity = 16, .line_bytes = 64};
+  cache::TreePlru tree(g);
+  const Partition sizes{8, 4, 2, 2};
+  const auto enf = make_tree_enforcement(tree, sizes, 16);
+  ASSERT_EQ(enf.masks.size(), 4U);
+  ASSERT_EQ(enf.vectors.size(), 4U);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tree.reachable_ways(enf.vectors[i]), enf.masks[i]);
+  }
+}
+
+}  // namespace
+}  // namespace plrupart::core
