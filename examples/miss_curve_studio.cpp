@@ -13,7 +13,6 @@
 #include <fstream>
 #include <memory>
 #include <optional>
-#include <sstream>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
@@ -23,20 +22,6 @@
 #include "workloads/workload_table.hpp"
 
 using namespace plrupart;
-
-namespace {
-
-std::vector<std::string> split_names(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
@@ -51,7 +36,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   } else {
-    names = split_names(cli.get_string("--benchmarks", "vpr,art"));
+    names = split_list(cli.get_string("--benchmarks", "vpr,art"));
   }
   const auto config = cli.get_string("--config", "M-L");
   const auto l2_kb = static_cast<std::uint64_t>(cli.get_int("--l2-kb", 2048));

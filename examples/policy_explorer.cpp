@@ -7,7 +7,6 @@
 // Useful for answering "which replacement policy should my cache use, and
 // does partitioning change the answer?" for a given workload mix.
 #include <cstdio>
-#include <sstream>
 
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
@@ -18,16 +17,6 @@
 using namespace plrupart;
 
 namespace {
-
-std::vector<std::string> split(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
 
 double run_mix(const std::vector<std::string>& names, const std::string& acronym,
                std::uint64_t l2_kb, std::uint64_t instr) {
@@ -54,10 +43,10 @@ double run_mix(const std::vector<std::string>& names, const std::string& acronym
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const auto names = split(cli.get_string("--benchmarks", "twolf,art"));
+  const auto names = split_list(cli.get_string("--benchmarks", "twolf,art"));
   const auto instr = static_cast<std::uint64_t>(cli.get_int("--instr", 1'000'000));
   std::vector<std::uint64_t> sizes;
-  for (const auto& s : split(cli.get_string("--sizes", "512,1024,2048")))
+  for (const auto& s : split_list(cli.get_string("--sizes", "512,1024,2048")))
     sizes.push_back(std::stoull(s));
 
   const std::vector<std::pair<std::string, std::string>> rows{

@@ -6,6 +6,7 @@
 #include <charconv>
 #include <cstdint>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -72,5 +73,16 @@ class Cli {
  private:
   std::vector<std::string> args_;
 };
+
+/// Split a comma-separated list, dropping empty items ("a,,b" -> {a, b}).
+[[nodiscard]] inline std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
 
 }  // namespace plrupart

@@ -52,6 +52,13 @@ CpaConfig CpaConfig::from_acronym(const std::string& name, std::uint32_t num_cor
   return c;
 }
 
+const std::vector<std::string>& CpaConfig::known_acronyms() {
+  static const std::vector<std::string> names = {
+      "C-L",      "M-L",      "M-1.0N",    "M-0.75N",  "M-0.5N",      "M-BT",
+      "M-RRIP",   "NOPART-L", "NOPART-N",  "NOPART-BT", "NOPART-R",   "NOPART-RRIP"};
+  return names;
+}
+
 std::string CpaConfig::acronym() const {
   if (!partitioned()) {
     switch (replacement) {

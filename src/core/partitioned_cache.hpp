@@ -76,6 +76,9 @@ struct CpaConfig {
                                               std::uint32_t num_cores,
                                               cache::Geometry geometry);
 
+  /// Every acronym from_acronym accepts, in the paper's order.
+  [[nodiscard]] static const std::vector<std::string>& known_acronyms();
+
   [[nodiscard]] std::string acronym() const;
 };
 

@@ -1,0 +1,313 @@
+// plrupart: the unified simulation driver.
+//
+// The one entry point for running named policy/partitioning configurations
+// over the paper's workloads and getting machine-readable results out. Later
+// PRs extend this binary for sharded/batched large-scale runs; keep new
+// functionality flag-driven and CSV-emitting.
+//
+//   plrupart --list-workloads            enumerate catalog benchmarks + Table II mixes
+//   plrupart --list-configs              enumerate the paper's configuration acronyms
+//   plrupart --workload 2T_04 [...]      run one or more Table II workloads
+//   plrupart --benchmarks twolf,art [..] run an ad-hoc benchmark mix
+//
+// Common run flags:
+//   --config M-0.75N   L2 configuration acronym (see --list-configs)
+//   --instr N          per-thread measured instructions   [1000000]
+//   --warmup N         warmup instructions                [instr/2]
+//   --l2-kb N          shared L2 size in KB               [1024]
+//   --assoc N          L2 associativity                   [16]
+//   --line N           line size in bytes                 [128]
+//   --interval N       repartition interval in cycles     [1000000]
+//   --sampling N       set sampling ratio (1 in N)        [32]
+//   --seed N           trace generation seed              [1]
+//   --csv PATH         write CSV to PATH instead of stdout
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "sim/cmp_simulator.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/workload_table.hpp"
+
+using namespace plrupart;
+
+namespace {
+
+/// Human descriptions for --list-configs; the authoritative name list is
+/// core::CpaConfig::known_acronyms() so new acronyms can't silently drift.
+std::string describe_config(const std::string& acronym) {
+  if (acronym == "C-L") return "owner counters + LRU (the paper's baseline CPA)";
+  if (acronym == "M-L") return "way masks + LRU";
+  if (acronym == "M-1.0N") return "way masks + NRU, eSDH scale 1.0";
+  if (acronym == "M-0.75N") return "way masks + NRU, eSDH scale 0.75";
+  if (acronym == "M-0.5N") return "way masks + NRU, eSDH scale 0.5";
+  if (acronym == "M-BT") return "way masks + binary-tree pseudo-LRU (ID-decoder profiling)";
+  if (acronym == "M-RRIP") return "way masks + SRRIP (extension)";
+  if (acronym == "NOPART-L") return "unpartitioned LRU";
+  if (acronym == "NOPART-N") return "unpartitioned NRU";
+  if (acronym == "NOPART-BT") return "unpartitioned binary-tree pseudo-LRU";
+  if (acronym == "NOPART-R") return "unpartitioned random replacement";
+  if (acronym == "NOPART-RRIP") return "unpartitioned SRRIP (extension)";
+  return "";
+}
+
+void print_usage() {
+  std::printf(
+      "plrupart: cache-partitioning simulation driver\n"
+      "\n"
+      "  plrupart --list-workloads             list catalog benchmarks and Table II mixes\n"
+      "  plrupart --list-configs               list L2 configuration acronyms\n"
+      "  plrupart --workload ID[,ID...]        run Table II workloads (or 'all')\n"
+      "  plrupart --benchmarks NAME[,NAME...]  run an ad-hoc benchmark mix\n"
+      "\n"
+      "run flags: --config ACRO [M-0.75N]  --instr N [1000000]  --warmup N [instr/2]\n"
+      "           --l2-kb N [1024]  --assoc N [16]  --line N [128]\n"
+      "           --interval N [1000000]  --sampling N [32]  --seed N [1]\n"
+      "           --csv PATH (default: stdout)\n");
+}
+
+void list_workloads() {
+  std::printf("catalog benchmarks (%zu):\n", workloads::catalog().size());
+  for (const auto& p : workloads::catalog()) std::printf("  %s\n", p.name.c_str());
+  std::printf("\nTable II workloads (%zu):\n", workloads::all_workloads().size());
+  for (const auto& w : workloads::all_workloads()) {
+    std::printf("  %-6s ", w.id.c_str());
+    for (std::size_t i = 0; i < w.benchmarks.size(); ++i)
+      std::printf("%s%s", i ? "," : "", w.benchmarks[i].c_str());
+    std::printf("\n");
+  }
+}
+
+void list_configs() {
+  for (const auto& name : core::CpaConfig::known_acronyms())
+    std::printf("  %-12s %s\n", name.c_str(), describe_config(name).c_str());
+}
+
+struct RunOptions {
+  std::string config = "M-0.75N";
+  std::uint64_t instr = 1'000'000;
+  std::uint64_t warmup = 0;  // 0 -> instr/2
+  std::uint64_t l2_kb = 1024;
+  std::uint32_t assoc = 16;
+  std::uint32_t line = 128;
+  std::uint64_t interval = 1'000'000;
+  std::uint32_t sampling = 32;
+  std::uint64_t seed = 1;
+};
+
+/// Integer flag with bounds, so typos like `--instr -1` (or an --assoc past
+/// 2^32) fail loudly instead of wrapping or truncating.
+std::uint64_t get_count(const Cli& cli, std::string_view name, std::uint64_t def,
+                        std::int64_t min,
+                        std::int64_t max = std::numeric_limits<std::int64_t>::max()) {
+  const auto v = cli.get_int(name, static_cast<std::int64_t>(def));
+  PLRUPART_ASSERT_MSG(v >= min && v <= max,
+                      "flag " + std::string(name) + " must be in [" + std::to_string(min) +
+                          ", " + std::to_string(max) + "], got " + std::to_string(v));
+  return static_cast<std::uint64_t>(v);
+}
+
+RunOptions parse_run_options(const Cli& cli) {
+  RunOptions o;
+  o.config = cli.get_string("--config", o.config);
+  o.instr = get_count(cli, "--instr", o.instr, 1);
+  o.warmup = get_count(cli, "--warmup", o.instr / 2, 0);
+  o.l2_kb = get_count(cli, "--l2-kb", o.l2_kb, 1);
+  constexpr auto kU32Max = std::numeric_limits<std::uint32_t>::max();
+  o.assoc = static_cast<std::uint32_t>(get_count(cli, "--assoc", o.assoc, 1, kU32Max));
+  o.line = static_cast<std::uint32_t>(get_count(cli, "--line", o.line, 1, kU32Max));
+  o.interval = get_count(cli, "--interval", o.interval, 1);
+  o.sampling = static_cast<std::uint32_t>(get_count(cli, "--sampling", o.sampling, 1, kU32Max));
+  o.seed = get_count(cli, "--seed", o.seed, 0);
+  return o;
+}
+
+/// The paper's fixed private-L1D geometry (size/assoc); the line size tracks
+/// the --line flag so L1 and L2 stay coherent.
+cache::Geometry l1_geometry(const RunOptions& o) {
+  return cache::Geometry{.size_bytes = 32 * 1024, .associativity = 2, .line_bytes = o.line};
+}
+
+cache::Geometry l2_geometry(const RunOptions& o) {
+  return cache::Geometry{
+      .size_bytes = o.l2_kb * 1024, .associativity = o.assoc, .line_bytes = o.line};
+}
+
+sim::SimResult simulate(const std::vector<std::string>& benchmarks, const RunOptions& o) {
+  sim::SimConfig cfg;
+  cfg.hierarchy.l1d = l1_geometry(o);
+  cfg.hierarchy.l2 = core::CpaConfig::from_acronym(
+      o.config, static_cast<std::uint32_t>(benchmarks.size()), l2_geometry(o));
+  cfg.hierarchy.l2.interval_cycles = o.interval;
+  cfg.hierarchy.l2.sampling_ratio = o.sampling;
+  cfg.instr_limit = o.instr;
+  cfg.warmup_instr = o.warmup;
+
+  std::vector<std::unique_ptr<sim::TraceSource>> traces;
+  for (std::uint32_t core = 0; core < benchmarks.size(); ++core) {
+    const auto& profile = workloads::benchmark(benchmarks[core]);
+    cfg.cores.push_back(profile.core);
+    traces.push_back(workloads::make_trace(profile, core, o.seed));
+  }
+  sim::CmpSimulator sim(std::move(cfg), std::move(traces));
+  return sim.run();
+}
+
+void emit(CsvWriter& csv, const std::string& workload_id, const sim::SimResult& r) {
+  for (std::size_t core = 0; core < r.threads.size(); ++core) {
+    const auto& th = r.threads[core];
+    const double miss_rate =
+        th.mem.l2_accesses ? static_cast<double>(th.mem.l2_misses) /
+                                 static_cast<double>(th.mem.l2_accesses)
+                           : 0.0;
+    csv.row_of(workload_id, r.l2_config, core, th.benchmark, th.instructions, th.cycles,
+               th.ipc, th.mem.l1_accesses, th.mem.l1_misses, th.mem.l2_accesses,
+               th.mem.l2_misses, miss_rate, r.throughput(), r.wall_cycles, r.repartitions);
+  }
+}
+
+int run(const Cli& cli) {
+  const RunOptions opts = parse_run_options(cli);
+
+  // Resolve the work list: named Table II workloads or one ad-hoc mix.
+  if (cli.has("--workload") && cli.has("--benchmarks")) {
+    std::fprintf(stderr, "plrupart: --workload and --benchmarks are mutually exclusive\n");
+    return 1;
+  }
+  std::vector<workloads::Workload> jobs;
+  if (auto ids = cli.value("--workload")) {
+    if (*ids == "all") {
+      jobs = workloads::all_workloads();
+    } else {
+      for (const auto& id : split_list(*ids)) {
+        bool found = false;
+        for (const auto& w : workloads::all_workloads()) {
+          if (w.id == id) {
+            jobs.push_back(w);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          std::fprintf(stderr, "plrupart: unknown workload id '%s' (see --list-workloads)\n",
+                       id.c_str());
+          return 1;
+        }
+      }
+    }
+  } else {
+    workloads::Workload w;
+    w.id = "adhoc";
+    w.benchmarks = split_list(cli.get_string("--benchmarks", ""));
+    if (w.benchmarks.empty()) {
+      print_usage();
+      return 1;
+    }
+    for (const auto& name : w.benchmarks) {
+      if (!workloads::has_benchmark(name)) {
+        std::fprintf(stderr, "plrupart: unknown benchmark '%s' (see --list-workloads)\n",
+                     name.c_str());
+        return 1;
+      }
+    }
+    jobs.push_back(w);
+  }
+
+  // Validate the full configuration for every job before any output, so a bad
+  // --config/geometry/thread-count fails cleanly instead of after the CSV
+  // header (or earlier rows, under a multi-workload run) has been emitted.
+  const cache::Geometry l2 = l2_geometry(opts);
+  l2.validate();
+  l1_geometry(opts).validate();
+  for (const auto& w : jobs) {
+    (void)core::CpaConfig::from_acronym(opts.config, w.threads(), l2);
+    PLRUPART_ASSERT_MSG(w.threads() <= opts.assoc,
+                        "workload " + w.id + " has " + std::to_string(w.threads()) +
+                            " threads but the L2 has only " + std::to_string(opts.assoc) +
+                            " ways");
+  }
+
+  std::ofstream file;
+  const auto csv_path = cli.get_string("--csv", "-");
+  if (csv_path != "-") {
+    file.open(csv_path);
+    if (!file) {
+      std::fprintf(stderr, "plrupart: cannot open '%s' for writing\n", csv_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& os = csv_path == "-" ? std::cout : file;
+
+  CsvWriter csv(os, {"workload", "config", "core", "benchmark", "instructions", "cycles",
+                     "ipc", "l1_accesses", "l1_misses", "l2_accesses", "l2_misses",
+                     "l2_miss_rate", "throughput", "wall_cycles", "repartitions"});
+  for (const auto& w : jobs) emit(csv, w.id, simulate(w.benchmarks, opts));
+  return 0;
+}
+
+/// Reject misspelled flags and stray positionals: a silently ignored
+/// `--asoc 99` would otherwise produce normal-looking CSV for the wrong
+/// configuration. Returns false (after printing the offender) on error.
+bool check_args(int argc, char** argv) {
+  static constexpr std::string_view kValueFlags[] = {
+      "--workload", "--benchmarks", "--config",   "--instr", "--warmup", "--l2-kb",
+      "--assoc",    "--line",       "--interval", "--sampling", "--seed", "--csv"};
+  static constexpr std::string_view kBoolFlags[] = {"--help", "-h", "--list-workloads",
+                                                    "--list-configs"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto name = arg.substr(0, arg.find('='));
+    if (std::find(std::begin(kBoolFlags), std::end(kBoolFlags), name) !=
+        std::end(kBoolFlags))
+      continue;
+    if (std::find(std::begin(kValueFlags), std::end(kValueFlags), name) !=
+        std::end(kValueFlags)) {
+      if (arg.find('=') == std::string_view::npos) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "plrupart: flag '%s' requires a value\n", argv[i]);
+          return false;
+        }
+        ++i;  // consume the value token
+      }
+      continue;
+    }
+    std::fprintf(stderr, "plrupart: unknown argument '%s' (see --help)\n", argv[i]);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  try {
+    if (!check_args(argc, argv)) return 1;
+    if (cli.has("--help") || cli.has("-h") || argc == 1) {
+      print_usage();
+      return 0;
+    }
+    if (cli.has("--list-workloads")) {
+      list_workloads();
+      return 0;
+    }
+    if (cli.has("--list-configs")) {
+      list_configs();
+      return 0;
+    }
+    return run(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "plrupart: %s\n", e.what());
+    return 1;
+  }
+}

@@ -25,8 +25,8 @@ TEST(Bits, Ilog2) {
 
 TEST(Bits, Ilog2ExactRejectsNonPow2) {
   EXPECT_EQ(ilog2_exact(16), 4U);
-  EXPECT_THROW(ilog2_exact(17), InvariantError);
-  EXPECT_THROW(ilog2(0), InvariantError);
+  EXPECT_THROW((void)ilog2_exact(17), InvariantError);
+  EXPECT_THROW((void)ilog2(0), InvariantError);
 }
 
 TEST(Bits, CeilFloorPow2) {
@@ -43,8 +43,8 @@ TEST(Bits, FullWayMask) {
   EXPECT_EQ(full_way_mask(4), 0b1111ULL);
   EXPECT_EQ(full_way_mask(16), 0xFFFFULL);
   EXPECT_EQ(full_way_mask(64), ~0ULL);
-  EXPECT_THROW(full_way_mask(0), InvariantError);
-  EXPECT_THROW(full_way_mask(65), InvariantError);
+  EXPECT_THROW((void)full_way_mask(0), InvariantError);
+  EXPECT_THROW((void)full_way_mask(65), InvariantError);
 }
 
 TEST(Bits, WayRangeMask) {
@@ -82,12 +82,12 @@ TEST(Bits, MaskNextCircularIgnoresBitsBeyondWays) {
   // set the scan wraps to way 1 instead of reaching phantom way 9.
   const WayMask m = (1ULL << 9) | 0b10;
   EXPECT_EQ(mask_next_circular(m, 3, 4), 1U);
-  EXPECT_THROW(mask_next_circular(m, 9, 4), InvariantError) << "start beyond ways";
+  EXPECT_THROW((void)mask_next_circular(m, 9, 4), InvariantError) << "start beyond ways";
 }
 
 TEST(Bits, MaskNextCircularEmptyThrows) {
-  EXPECT_THROW(mask_next_circular(0, 0, 8), InvariantError);
-  EXPECT_THROW(mask_next_circular(1ULL << 10, 0, 8), InvariantError);
+  EXPECT_THROW((void)mask_next_circular(0, 0, 8), InvariantError);
+  EXPECT_THROW((void)mask_next_circular(1ULL << 10, 0, 8), InvariantError);
 }
 
 }  // namespace

@@ -15,7 +15,9 @@ TEST(Catalog, HasTwentyFiveUniqueSortedEntries) {
   std::set<std::string> names;
   for (std::size_t i = 0; i < cat.size(); ++i) {
     names.insert(cat[i].name);
-    if (i > 0) EXPECT_LT(cat[i - 1].name, cat[i].name);
+    if (i > 0) {
+      EXPECT_LT(cat[i - 1].name, cat[i].name);
+    }
   }
   EXPECT_EQ(names.size(), cat.size());
 }

@@ -61,7 +61,7 @@ TEST(Cli, StringsAndDoubles) {
 
 TEST(Cli, BadIntegerThrows) {
   const auto cli = make_cli({"--n", "abc"});
-  EXPECT_THROW(cli.get_int("--n", 0), InvariantError);
+  EXPECT_THROW((void)cli.get_int("--n", 0), InvariantError);
 }
 
 }  // namespace
