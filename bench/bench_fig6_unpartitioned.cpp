@@ -50,15 +50,16 @@ int main(int argc, char** argv) {
     iso.warm(ws, {cache::ReplacementKind::kLru, cache::ReplacementKind::kNru,
                   cache::ReplacementKind::kTreePlru});
 
-    // All (workload, config) runs in parallel; baseline metrics per workload
-    // come from the NOPART-L runs.
-    std::vector<metrics::PerfMetrics> results(ws.size() * configs.size());
-    parallel_for(results.size(), [&](std::size_t idx) {
-      const auto& w = ws[idx / configs.size()];
-      const auto& acr = configs[idx % configs.size()];
-      const auto r = run_workload(w, acr, opt);
-      results[idx] = workload_metrics(r, replacement_of(acr), iso);
-    });
+    // One workloads × configs RunMatrix per core count; baseline metrics per
+    // workload come from the NOPART-L runs.
+    const auto matrix = matrix_for(opt, configs, ws);
+    const auto runs = run_matrix(matrix);
+    std::vector<metrics::PerfMetrics> results(runs.size());
+    for (std::size_t wi = 0; wi < ws.size(); ++wi)
+      for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+        const auto idx = matrix.index_of(wi, ci);
+        results[idx] = workload_metrics(runs[idx].result, replacement_of(configs[ci]), iso);
+      }
 
     // Paper-style aggregation: average each absolute metric over the workload
     // set per configuration, then report relative to LRU's average.

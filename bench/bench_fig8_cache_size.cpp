@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   const bool quick = cli.has("--quick");
   const bool per_workload = !cli.has("--summary-only");
 
-  const std::vector<std::uint64_t> sizes{512 * 1024, 1024 * 1024, 2048 * 1024};
+  const std::vector<std::uint64_t> sizes_kb{512, 1024, 2048};
   const std::vector<std::pair<std::string, std::string>> pairs{
       {"M-L", "NOPART-L"}, {"M-0.75N", "NOPART-N"}, {"M-BT", "NOPART-BT"}};
 
@@ -42,32 +42,29 @@ int main(int argc, char** argv) {
   for (const auto& [part_cfg, nopart_cfg] : pairs) {
     std::printf("--- %s vs %s ---\n", part_cfg.c_str(), nopart_cfg.c_str());
     std::printf("%-28s", "workload");
-    for (const auto s : sizes)
-      std::printf(" %8lluKB", static_cast<unsigned long long>(s / 1024));
+    for (const auto kb : sizes_kb)
+      std::printf(" %8lluKB", static_cast<unsigned long long>(kb));
     std::printf("\n");
 
-    // All (workload, size, partitioned?) runs in parallel.
-    std::vector<double> ratio(ws.size() * sizes.size());
-    parallel_for(ratio.size(), [&](std::size_t idx) {
-      const auto& w = ws[idx / sizes.size()];
-      const auto opt = base_opt.with_l2_bytes(sizes[idx % sizes.size()]);
-      const double part = run_workload(w, part_cfg, opt).throughput();
-      const double nopart = run_workload(w, nopart_cfg, opt).throughput();
-      ratio[idx] = part / nopart;
-    });
+    // One {partitioned, unpartitioned} × workloads × L2-size matrix per
+    // scheme; both sides of a ratio share a workload row, hence a trace seed.
+    const auto matrix = matrix_for(base_opt, {part_cfg, nopart_cfg}, ws, sizes_kb);
+    const auto runs = run_matrix(matrix);
 
-    std::vector<GeoMean> avg(sizes.size());
+    std::vector<GeoMean> avg(sizes_kb.size());
     for (std::size_t wi = 0; wi < ws.size(); ++wi) {
       if (per_workload) {
         std::printf("%-28s",
                     (ws[wi].id + " (" + ws[wi].benchmarks[0] + "+" + ws[wi].benchmarks[1] + ")")
                         .c_str());
       }
-      for (std::size_t si = 0; si < sizes.size(); ++si) {
-        const double r = ratio[wi * sizes.size() + si];
+      for (std::size_t si = 0; si < sizes_kb.size(); ++si) {
+        const double part = runs[matrix.index_of(wi, 0, si)].result.throughput();
+        const double nopart = runs[matrix.index_of(wi, 1, si)].result.throughput();
+        const double r = part / nopart;
         avg[si].add(r);
         if (per_workload) std::printf(" %10.3f", r);
-        if (csv) csv->row_of(part_cfg, ws[wi].id, sizes[si] / 1024, r);
+        if (csv) csv->row_of(part_cfg, ws[wi].id, sizes_kb[si], r);
       }
       if (per_workload) std::printf("\n");
     }

@@ -71,12 +71,15 @@ int main(int argc, char** argv) {
   for (const auto cores : core_counts) {
     auto ws = maybe_quick(workloads::workloads_for_threads(cores), quick);
 
-    std::vector<PowerResult> results(ws.size() * configs.size());
-    parallel_for(results.size(), [&](std::size_t idx) {
-      const auto& w = ws[idx / configs.size()];
-      const auto& acr = configs[idx % configs.size()];
-      results[idx] = evaluate_run(run_workload(w, acr, opt), acr, opt, cores);
-    });
+    // One workloads × configs RunMatrix per core count (C-L first: baseline).
+    const auto matrix = matrix_for(opt, configs, ws);
+    const auto runs = run_matrix(matrix);
+    std::vector<PowerResult> results(runs.size());
+    for (std::size_t wi = 0; wi < ws.size(); ++wi)
+      for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+        const auto idx = matrix.index_of(wi, ci);
+        results[idx] = evaluate_run(runs[idx].result, configs[ci], opt, cores);
+      }
 
     // Figure 9(b) companion: average component breakdown at 2 cores.
     std::vector<power::PowerBreakdown> avg_breakdown(configs.size());

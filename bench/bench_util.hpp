@@ -22,6 +22,8 @@
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
 #include "metrics/metrics.hpp"
+#include "runner/run_spec.hpp"
+#include "runner/sweep_executor.hpp"
 #include "sim/cmp_simulator.hpp"
 #include "workloads/catalog.hpp"
 #include "workloads/generators.hpp"
@@ -47,13 +49,41 @@ struct RunOptions {
     o.seed = static_cast<std::uint64_t>(cli.get_int("--seed", 42));
     return o;
   }
-
-  [[nodiscard]] RunOptions with_l2_bytes(std::uint64_t bytes) const {
-    RunOptions o = *this;
-    o.l2.size_bytes = bytes;
-    return o;
-  }
 };
+
+/// Bridge RunOptions into the sweep engine: a configs × workloads × L2-size
+/// RunMatrix sharing this harness's simulation parameters. The figure benches
+/// build their sweeps through this (canonical order: workload > config > size;
+/// use RunMatrix::index_of to address results) instead of private loops.
+///
+/// Seed note: the engine derives one trace seed per workload row, so every
+/// config/size cell of a workload replays identical access streams, while the
+/// IsolationCache baselines below keep using the root seed — baselines stay
+/// common to all configurations, which is what the relative metrics need.
+[[nodiscard]] inline runner::RunMatrix matrix_for(const RunOptions& opt,
+                                                  std::vector<std::string> configs,
+                                                  std::vector<workloads::Workload> ws,
+                                                  std::vector<std::uint64_t> l2_kb = {}) {
+  runner::RunMatrix m;
+  m.configs = std::move(configs);
+  m.workloads = std::move(ws);
+  m.l2_kb = l2_kb.empty() ? std::vector<std::uint64_t>{opt.l2.size_bytes / 1024}
+                          : std::move(l2_kb);
+  m.assoc = opt.l2.associativity;
+  m.line = opt.l2.line_bytes;
+  m.l1d = opt.l1d;
+  m.instr = opt.instr;
+  m.warmup = opt.warmup;
+  m.interval_cycles = opt.interval_cycles;
+  m.sampling_ratio = opt.sampling_ratio;
+  m.seed = opt.seed;
+  return m;
+}
+
+/// Expand + execute a matrix with the process-default thread count.
+[[nodiscard]] inline std::vector<runner::JobResult> run_matrix(const runner::RunMatrix& m) {
+  return runner::SweepExecutor{}.run(m.expand());
+}
 
 /// Run one Table II workload under one L2 configuration acronym.
 inline sim::SimResult run_workload(

@@ -74,6 +74,18 @@ class Cli {
   std::vector<std::string> args_;
 };
 
+/// Whole-string unsigned parse that names the offending context on failure
+/// ("bad <what>: '<text>'"). Rejects empty strings, signs, and trailing junk.
+[[nodiscard]] inline std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  std::uint64_t value{};
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  PLRUPART_ASSERT_MSG(!text.empty() && ec == std::errc{} && ptr == end,
+                      "bad " + std::string(what) + ": '" + std::string(text) + "'");
+  return value;
+}
+
 /// Split a comma-separated list, dropping empty items ("a,,b" -> {a, b}).
 [[nodiscard]] inline std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;

@@ -1,9 +1,12 @@
 // Minimal fork-join parallelism for running independent simulations.
 //
-// Each simulation is single-threaded and deterministic; the benchmark harness
-// parallelizes *across* (workload, configuration) pairs. A static chunked
-// parallel_for keeps scheduling deterministic enough for debugging while using
-// all cores.
+// Each simulation is single-threaded and deterministic; the sweep engine and
+// benchmark harnesses parallelize *across* (workload, configuration) pairs.
+// Scheduling is a dynamic work queue — workers pull the next unclaimed index
+// off an atomic ticket counter — so the assignment of indices to threads (and
+// the completion order) is nondeterministic. Callers that need deterministic
+// output must key results by index, never by completion order; parallel_map
+// and the sweep executor do exactly that.
 #pragma once
 
 #include <atomic>
@@ -12,6 +15,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -27,8 +31,11 @@ namespace plrupart {
 /// Run body(i) for i in [0, n) across up to `threads` workers. The first
 /// exception thrown by any body is rethrown on the calling thread after all
 /// workers join. body must be safe to call concurrently for distinct i.
-inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                         std::size_t threads = 0) {
+///
+/// Templated on the callable so the per-index dispatch on the hot fan-out
+/// path is a direct (inlinable) call, not a std::function indirection.
+template <typename F, typename = std::enable_if_t<std::is_invocable_v<F&, std::size_t>>>
+inline void parallel_for(std::size_t n, F&& body, std::size_t threads = 0) {
   if (n == 0) return;
   if (threads == 0) threads = default_parallelism();
   if (threads > n) threads = n;
@@ -65,6 +72,15 @@ inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& 
   for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& th : pool) th.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Type-erased overload for callers that already hold a std::function (the
+/// template above is preferred for lambdas — overload resolution picks it
+/// automatically because no conversion is needed).
+inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                         std::size_t threads = 0) {
+  parallel_for(
+      n, [&body](std::size_t i) { body(i); }, threads);
 }
 
 /// Map f over [0, n) into a pre-sized result vector, in parallel.

@@ -1,0 +1,103 @@
+#include "runner/run_spec.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "core/partitioned_cache.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/generators.hpp"
+
+namespace plrupart::runner {
+
+std::string RunSpec::key() const {
+  return workload.id + "|" + config + "|" + std::to_string(l2.size_bytes / 1024);
+}
+
+sim::SimResult execute(const RunSpec& spec) {
+  sim::SimConfig cfg;
+  cfg.hierarchy.l1d = spec.l1d;
+  cfg.hierarchy.l2 =
+      core::CpaConfig::from_acronym(spec.config, spec.workload.threads(), spec.l2);
+  cfg.hierarchy.l2.interval_cycles = spec.interval_cycles;
+  cfg.hierarchy.l2.sampling_ratio = spec.sampling_ratio;
+  cfg.hierarchy.l2.seed = spec.seed;
+  cfg.instr_limit = spec.instr;
+  cfg.warmup_instr = spec.warmup;
+
+  std::vector<std::unique_ptr<sim::TraceSource>> traces;
+  for (std::uint32_t core = 0; core < spec.workload.threads(); ++core) {
+    const auto& profile = workloads::benchmark(spec.workload.benchmarks[core]);
+    cfg.cores.push_back(profile.core);
+    traces.push_back(workloads::make_trace(profile, core, spec.seed));
+  }
+  sim::CmpSimulator sim(std::move(cfg), std::move(traces));
+  return sim.run();
+}
+
+std::uint64_t RunMatrix::job_seed(std::size_t wi) const noexcept {
+  return derive_seed(seed, wi);
+}
+
+std::vector<RunSpec> RunMatrix::expand() const {
+  validate();
+  std::vector<RunSpec> jobs;
+  jobs.reserve(size());
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const std::uint64_t row_seed = job_seed(wi);
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      for (std::size_t li = 0; li < l2_kb.size(); ++li) {
+        RunSpec s;
+        s.job_index = index_of(wi, ci, li);
+        s.config = configs[ci];
+        s.workload = workloads[wi];
+        s.l1d = l1d;
+        s.l2 = cache::Geometry{
+            .size_bytes = l2_kb[li] * 1024, .associativity = assoc, .line_bytes = line};
+        s.instr = instr;
+        s.warmup = warmup;
+        s.interval_cycles = interval_cycles;
+        s.sampling_ratio = sampling_ratio;
+        s.seed = row_seed;
+        PLRUPART_ASSERT(s.job_index == jobs.size());
+        jobs.push_back(std::move(s));
+      }
+    }
+  }
+  return jobs;
+}
+
+std::vector<RunSpec> RunMatrix::shard(std::size_t i, std::size_t n) const {
+  PLRUPART_ASSERT_MSG(n >= 1, "shard count must be >= 1");
+  PLRUPART_ASSERT_MSG(i < n, "shard index " + std::to_string(i) +
+                                 " out of range for " + std::to_string(n) + " shards");
+  auto all = expand();
+  std::vector<RunSpec> slice;
+  slice.reserve(all.size() / n + 1);
+  for (std::size_t k = i; k < all.size(); k += n) slice.push_back(std::move(all[k]));
+  return slice;
+}
+
+void RunMatrix::validate() const {
+  PLRUPART_ASSERT_MSG(!configs.empty(), "run matrix has no configurations");
+  PLRUPART_ASSERT_MSG(!workloads.empty(), "run matrix has no workloads");
+  PLRUPART_ASSERT_MSG(!l2_kb.empty(), "run matrix has no L2 sizes");
+  l1d.validate();
+  for (const auto kb : l2_kb) {
+    const cache::Geometry g{
+        .size_bytes = kb * 1024, .associativity = assoc, .line_bytes = line};
+    g.validate();
+    for (const auto& w : workloads) {
+      PLRUPART_ASSERT_MSG(w.threads() >= 1, "workload " + w.id + " has no benchmarks");
+      PLRUPART_ASSERT_MSG(w.threads() <= assoc,
+                          "workload " + w.id + " has " + std::to_string(w.threads()) +
+                              " threads but the L2 has only " + std::to_string(assoc) +
+                              " ways");
+      for (const auto& c : configs)
+        (void)core::CpaConfig::from_acronym(c, w.threads(), g);
+    }
+  }
+}
+
+}  // namespace plrupart::runner

@@ -1,42 +1,54 @@
 // plrupart: the unified simulation driver.
 //
 // The one entry point for running named policy/partitioning configurations
-// over the paper's workloads and getting machine-readable results out. Later
-// PRs extend this binary for sharded/batched large-scale runs; keep new
-// functionality flag-driven and CSV-emitting.
+// over the paper's workloads and getting machine-readable results out. The
+// driver only parses flags into a runner::RunMatrix; expansion, sharding,
+// parallel execution, and CSV emission all live in src/runner/.
 //
 //   plrupart --list-workloads            enumerate catalog benchmarks + Table II mixes
 //   plrupart --list-configs              enumerate the paper's configuration acronyms
 //   plrupart --workload 2T_04 [...]      run one or more Table II workloads
 //   plrupart --benchmarks twolf,art [..] run an ad-hoc benchmark mix
+//   plrupart --merge-csv a.csv,b.csv     merge + validate shard outputs
+//
+// Matrix axes (cartesian product, canonical order = workload > config > size):
+//   --configs A,B,...  L2 configuration acronyms      [M-0.75N]
+//   --l2-kb-sweep LIST shared L2 sizes in KB          [1024]
+// (--config and --l2-kb remain as single-value spellings of the same axes.)
 //
 // Common run flags:
-//   --config M-0.75N   L2 configuration acronym (see --list-configs)
 //   --instr N          per-thread measured instructions   [1000000]
 //   --warmup N         warmup instructions                [instr/2]
-//   --l2-kb N          shared L2 size in KB               [1024]
 //   --assoc N          L2 associativity                   [16]
 //   --line N           line size in bytes                 [128]
 //   --interval N       repartition interval in cycles     [1000000]
 //   --sampling N       set sampling ratio (1 in N)        [32]
-//   --seed N           trace generation seed              [1]
+//   --seed N           root seed (per-job seeds derive from it)  [1]
 //   --csv PATH         write CSV to PATH instead of stdout
+//
+// Scale-out flags:
+//   --threads N        worker threads; 0 = one per hardware thread  [0]
+//   --shard i/n        run slice i of an n-way split of the matrix
+//   --progress         per-job completion lines on stderr
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
-#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <system_error>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/cli.hpp"
-#include "common/csv.hpp"
-#include "sim/cmp_simulator.hpp"
+#include "core/partitioned_cache.hpp"
+#include "runner/run_spec.hpp"
+#include "runner/sweep_executor.hpp"
 #include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
 #include "workloads/workload_table.hpp"
 
 using namespace plrupart;
@@ -69,11 +81,14 @@ void print_usage() {
       "  plrupart --list-configs               list L2 configuration acronyms\n"
       "  plrupart --workload ID[,ID...]        run Table II workloads (or 'all')\n"
       "  plrupart --benchmarks NAME[,NAME...]  run an ad-hoc benchmark mix\n"
+      "  plrupart --merge-csv A.csv,B.csv,...  merge + validate shard CSVs\n"
       "\n"
-      "run flags: --config ACRO [M-0.75N]  --instr N [1000000]  --warmup N [instr/2]\n"
-      "           --l2-kb N [1024]  --assoc N [16]  --line N [128]\n"
-      "           --interval N [1000000]  --sampling N [32]  --seed N [1]\n"
-      "           --csv PATH (default: stdout)\n");
+      "matrix axes: --configs ACRO[,ACRO...] [M-0.75N]   --l2-kb-sweep KB[,KB...] [1024]\n"
+      "             (--config / --l2-kb are the single-value spellings)\n"
+      "run flags:   --instr N [1000000]  --warmup N [instr/2]  --assoc N [16]\n"
+      "             --line N [128]  --interval N [1000000]  --sampling N [32]\n"
+      "             --seed N [1]  --csv PATH (default: stdout)\n"
+      "scale-out:   --threads N [0 = all hardware threads]  --shard i/n  --progress\n");
 }
 
 void list_workloads() {
@@ -93,18 +108,6 @@ void list_configs() {
     std::printf("  %-12s %s\n", name.c_str(), describe_config(name).c_str());
 }
 
-struct RunOptions {
-  std::string config = "M-0.75N";
-  std::uint64_t instr = 1'000'000;
-  std::uint64_t warmup = 0;  // 0 -> instr/2
-  std::uint64_t l2_kb = 1024;
-  std::uint32_t assoc = 16;
-  std::uint32_t line = 128;
-  std::uint64_t interval = 1'000'000;
-  std::uint32_t sampling = 32;
-  std::uint64_t seed = 1;
-};
-
 /// Integer flag with bounds, so typos like `--instr -1` (or an --assoc past
 /// 2^32) fail loudly instead of wrapping or truncating.
 std::uint64_t get_count(const Cli& cli, std::string_view name, std::uint64_t def,
@@ -117,83 +120,115 @@ std::uint64_t get_count(const Cli& cli, std::string_view name, std::uint64_t def
   return static_cast<std::uint64_t>(v);
 }
 
-RunOptions parse_run_options(const Cli& cli) {
-  RunOptions o;
-  o.config = cli.get_string("--config", o.config);
-  o.instr = get_count(cli, "--instr", o.instr, 1);
-  o.warmup = get_count(cli, "--warmup", o.instr / 2, 0);
-  o.l2_kb = get_count(cli, "--l2-kb", o.l2_kb, 1);
+/// "i/n" -> (i, n) with i < n. Anything else fails loudly.
+std::pair<std::size_t, std::size_t> parse_shard(const std::string& text) {
+  const auto slash = text.find('/');
+  PLRUPART_ASSERT_MSG(slash != std::string::npos && slash > 0 && slash + 1 < text.size(),
+                      "--shard expects i/n (e.g. 0/4), got '" + text + "'");
+  const auto i = static_cast<std::size_t>(
+      parse_u64(std::string_view(text).substr(0, slash), "value for --shard"));
+  const auto n = static_cast<std::size_t>(
+      parse_u64(std::string_view(text).substr(slash + 1), "value for --shard"));
+  PLRUPART_ASSERT_MSG(n >= 1 && i < n, "--shard index must satisfy i < n, got '" + text + "'");
+  return {i, n};
+}
+
+/// Parse all matrix-shaping flags. The workload axis is filled by run().
+runner::RunMatrix parse_matrix(const Cli& cli) {
+  runner::RunMatrix m;
+
+  PLRUPART_ASSERT_MSG(!(cli.has("--config") && cli.has("--configs")),
+                      "--config and --configs are mutually exclusive");
+  m.configs = cli.has("--configs") ? split_list(cli.get_string("--configs", ""))
+                                   : std::vector<std::string>{cli.get_string(
+                                         "--config", "M-0.75N")};
+  PLRUPART_ASSERT_MSG(!m.configs.empty(), "--configs needs at least one acronym");
+
+  PLRUPART_ASSERT_MSG(!(cli.has("--l2-kb") && cli.has("--l2-kb-sweep")),
+                      "--l2-kb and --l2-kb-sweep are mutually exclusive");
+  if (cli.has("--l2-kb-sweep")) {
+    m.l2_kb.clear();
+    for (const auto& kb : split_list(cli.get_string("--l2-kb-sweep", "")))
+      m.l2_kb.push_back(parse_u64(kb, "value for --l2-kb-sweep"));
+    PLRUPART_ASSERT_MSG(!m.l2_kb.empty(), "--l2-kb-sweep needs at least one size");
+  } else {
+    m.l2_kb = {get_count(cli, "--l2-kb", 1024, 1)};
+  }
+
   constexpr auto kU32Max = std::numeric_limits<std::uint32_t>::max();
-  o.assoc = static_cast<std::uint32_t>(get_count(cli, "--assoc", o.assoc, 1, kU32Max));
-  o.line = static_cast<std::uint32_t>(get_count(cli, "--line", o.line, 1, kU32Max));
-  o.interval = get_count(cli, "--interval", o.interval, 1);
-  o.sampling = static_cast<std::uint32_t>(get_count(cli, "--sampling", o.sampling, 1, kU32Max));
-  o.seed = get_count(cli, "--seed", o.seed, 0);
-  return o;
+  m.assoc = static_cast<std::uint32_t>(get_count(cli, "--assoc", 16, 1, kU32Max));
+  m.line = static_cast<std::uint32_t>(get_count(cli, "--line", 128, 1, kU32Max));
+  // The paper's fixed private-L1D geometry; the line size tracks --line so L1
+  // and L2 stay coherent.
+  m.l1d = cache::Geometry{.size_bytes = 32 * 1024, .associativity = 2, .line_bytes = m.line};
+  m.instr = get_count(cli, "--instr", 1'000'000, 1);
+  m.warmup = get_count(cli, "--warmup", m.instr / 2, 0);
+  m.interval_cycles = get_count(cli, "--interval", 1'000'000, 1);
+  m.sampling_ratio =
+      static_cast<std::uint32_t>(get_count(cli, "--sampling", 32, 1, kU32Max));
+  m.seed = get_count(cli, "--seed", 1, 0);
+  return m;
 }
 
-/// The paper's fixed private-L1D geometry (size/assoc); the line size tracks
-/// the --line flag so L1 and L2 stay coherent.
-cache::Geometry l1_geometry(const RunOptions& o) {
-  return cache::Geometry{.size_bytes = 32 * 1024, .associativity = 2, .line_bytes = o.line};
+/// Open --csv for writing, or return nullopt for stdout. Opened (and
+/// truncated) up front, BEFORE any simulation work: an unwritable path must
+/// fail in milliseconds, not after a multi-hour sweep has produced results
+/// with nowhere to go.
+std::optional<std::ofstream> open_output(const Cli& cli) {
+  const auto csv_path = cli.get_string("--csv", "-");
+  if (csv_path == "-") return std::nullopt;
+  std::ofstream file(csv_path);
+  PLRUPART_ASSERT_MSG(static_cast<bool>(file),
+                      "cannot open '" + csv_path + "' for writing");
+  return file;
 }
 
-cache::Geometry l2_geometry(const RunOptions& o) {
-  return cache::Geometry{
-      .size_bytes = o.l2_kb * 1024, .associativity = o.assoc, .line_bytes = o.line};
-}
-
-sim::SimResult simulate(const std::vector<std::string>& benchmarks, const RunOptions& o) {
-  sim::SimConfig cfg;
-  cfg.hierarchy.l1d = l1_geometry(o);
-  cfg.hierarchy.l2 = core::CpaConfig::from_acronym(
-      o.config, static_cast<std::uint32_t>(benchmarks.size()), l2_geometry(o));
-  cfg.hierarchy.l2.interval_cycles = o.interval;
-  cfg.hierarchy.l2.sampling_ratio = o.sampling;
-  cfg.instr_limit = o.instr;
-  cfg.warmup_instr = o.warmup;
-
-  std::vector<std::unique_ptr<sim::TraceSource>> traces;
-  for (std::uint32_t core = 0; core < benchmarks.size(); ++core) {
-    const auto& profile = workloads::benchmark(benchmarks[core]);
-    cfg.cores.push_back(profile.core);
-    traces.push_back(workloads::make_trace(profile, core, o.seed));
+int merge(const Cli& cli) {
+  const auto paths = split_list(cli.get_string("--merge-csv", ""));
+  PLRUPART_ASSERT_MSG(!paths.empty(), "--merge-csv needs at least one input CSV");
+  // Opening the output truncates it — make sure that never destroys an input
+  // shard. Compare resolved paths so `./shard0.csv` vs `shard0.csv` is caught.
+  const auto out_path = cli.get_string("--csv", "-");
+  if (out_path != "-") {
+    std::error_code ec;
+    const auto out_canon = std::filesystem::weakly_canonical(out_path, ec);
+    for (const auto& in : paths) {
+      std::error_code in_ec;
+      const auto in_canon = std::filesystem::weakly_canonical(in, in_ec);
+      PLRUPART_ASSERT_MSG(in != out_path && (ec || in_ec || in_canon != out_canon),
+                          "--csv output '" + out_path +
+                              "' is also a --merge-csv input; refusing to overwrite "
+                              "shard data");
+    }
   }
-  sim::CmpSimulator sim(std::move(cfg), std::move(traces));
-  return sim.run();
-}
-
-void emit(CsvWriter& csv, const std::string& workload_id, const sim::SimResult& r) {
-  for (std::size_t core = 0; core < r.threads.size(); ++core) {
-    const auto& th = r.threads[core];
-    const double miss_rate =
-        th.mem.l2_accesses ? static_cast<double>(th.mem.l2_misses) /
-                                 static_cast<double>(th.mem.l2_accesses)
-                           : 0.0;
-    csv.row_of(workload_id, r.l2_config, core, th.benchmark, th.instructions, th.cycles,
-               th.ipc, th.mem.l1_accesses, th.mem.l1_misses, th.mem.l2_accesses,
-               th.mem.l2_misses, miss_rate, r.throughput(), r.wall_cycles, r.repartitions);
-  }
+  auto file = open_output(cli);
+  runner::merge_csv(paths, file ? *file : std::cout);
+  return 0;
 }
 
 int run(const Cli& cli) {
-  const RunOptions opts = parse_run_options(cli);
+  if (cli.has("--merge-csv")) {
+    PLRUPART_ASSERT_MSG(!cli.has("--workload") && !cli.has("--benchmarks"),
+                        "--merge-csv cannot be combined with a simulation run");
+    return merge(cli);
+  }
 
-  // Resolve the work list: named Table II workloads or one ad-hoc mix.
+  runner::RunMatrix matrix = parse_matrix(cli);
+
+  // Resolve the workload axis: named Table II workloads or one ad-hoc mix.
   if (cli.has("--workload") && cli.has("--benchmarks")) {
     std::fprintf(stderr, "plrupart: --workload and --benchmarks are mutually exclusive\n");
     return 1;
   }
-  std::vector<workloads::Workload> jobs;
   if (auto ids = cli.value("--workload")) {
     if (*ids == "all") {
-      jobs = workloads::all_workloads();
+      matrix.workloads = workloads::all_workloads();
     } else {
       for (const auto& id : split_list(*ids)) {
         bool found = false;
         for (const auto& w : workloads::all_workloads()) {
           if (w.id == id) {
-            jobs.push_back(w);
+            matrix.workloads.push_back(w);
             found = true;
             break;
           }
@@ -220,38 +255,33 @@ int run(const Cli& cli) {
         return 1;
       }
     }
-    jobs.push_back(w);
+    matrix.workloads.push_back(w);
   }
 
-  // Validate the full configuration for every job before any output, so a bad
-  // --config/geometry/thread-count fails cleanly instead of after the CSV
-  // header (or earlier rows, under a multi-workload run) has been emitted.
-  const cache::Geometry l2 = l2_geometry(opts);
-  l2.validate();
-  l1_geometry(opts).validate();
-  for (const auto& w : jobs) {
-    (void)core::CpaConfig::from_acronym(opts.config, w.threads(), l2);
-    PLRUPART_ASSERT_MSG(w.threads() <= opts.assoc,
-                        "workload " + w.id + " has " + std::to_string(w.threads()) +
-                            " threads but the L2 has only " + std::to_string(opts.assoc) +
-                            " ways");
+  // Validate the whole matrix before any output, so a bad --config/geometry/
+  // thread-count fails cleanly instead of after the CSV header (or earlier
+  // rows of the sweep) has been emitted.
+  matrix.validate();
+
+  // Expand, optionally slice, and fan out. Jobs land in canonical order, so
+  // the CSV is byte-identical at any --threads value, and shard outputs merge
+  // back (via --merge-csv) into exactly the unsharded file.
+  std::vector<runner::RunSpec> jobs;
+  if (const auto shard = cli.value("--shard")) {
+    const auto [i, n] = parse_shard(*shard);
+    jobs = matrix.shard(i, n);
+  } else {
+    jobs = matrix.expand();
   }
 
-  std::ofstream file;
-  const auto csv_path = cli.get_string("--csv", "-");
-  if (csv_path != "-") {
-    file.open(csv_path);
-    if (!file) {
-      std::fprintf(stderr, "plrupart: cannot open '%s' for writing\n", csv_path.c_str());
-      return 1;
-    }
-  }
-  std::ostream& os = csv_path == "-" ? std::cout : file;
+  runner::SweepOptions opts;
+  opts.threads = static_cast<std::size_t>(
+      get_count(cli, "--threads", 0, 0, std::numeric_limits<std::uint32_t>::max()));
+  opts.progress = cli.has("--progress");
 
-  CsvWriter csv(os, {"workload", "config", "core", "benchmark", "instructions", "cycles",
-                     "ipc", "l1_accesses", "l1_misses", "l2_accesses", "l2_misses",
-                     "l2_miss_rate", "throughput", "wall_cycles", "repartitions"});
-  for (const auto& w : jobs) emit(csv, w.id, simulate(w.benchmarks, opts));
+  auto file = open_output(cli);  // fail on a bad --csv path before simulating
+  const auto results = runner::SweepExecutor(opts).run(std::move(jobs));
+  runner::write_csv(file ? *file : std::cout, results);
   return 0;
 }
 
@@ -260,10 +290,12 @@ int run(const Cli& cli) {
 /// configuration. Returns false (after printing the offender) on error.
 bool check_args(int argc, char** argv) {
   static constexpr std::string_view kValueFlags[] = {
-      "--workload", "--benchmarks", "--config",   "--instr", "--warmup", "--l2-kb",
-      "--assoc",    "--line",       "--interval", "--sampling", "--seed", "--csv"};
+      "--workload", "--benchmarks", "--config",   "--configs",  "--instr",
+      "--warmup",   "--l2-kb",      "--l2-kb-sweep", "--assoc", "--line",
+      "--interval", "--sampling",   "--seed",     "--csv",      "--threads",
+      "--shard",    "--merge-csv"};
   static constexpr std::string_view kBoolFlags[] = {"--help", "-h", "--list-workloads",
-                                                    "--list-configs"};
+                                                    "--list-configs", "--progress"};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto name = arg.substr(0, arg.find('='));

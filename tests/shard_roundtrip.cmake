@@ -1,0 +1,60 @@
+# Tier-1 shard-correctness check, run as a CTest test (see src/tools/).
+#
+# Runs a tiny configs × workloads × L2-size sweep three ways — unsharded
+# single-threaded, and as --shard 0/2 + --shard 1/2 (multi-threaded) merged
+# via --merge-csv — and requires the merged CSV to be byte-identical to the
+# unsharded one.
+#
+# Usage: cmake -DPLRUPART_CLI=<binary> -DWORK_DIR=<scratch dir> -P shard_roundtrip.cmake
+if(NOT PLRUPART_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "PLRUPART_CLI and WORK_DIR must be set")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(MATRIX_FLAGS
+  --workload 2T_01,2T_02,2T_03
+  --configs NOPART-L,M-0.75N
+  --l2-kb-sweep 128,256
+  --instr 20000 --interval 40000 --sampling 8 --seed 7)
+
+function(run_cli out_var)
+  execute_process(
+    COMMAND ${PLRUPART_CLI} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "plrupart ${ARGN} failed (rc=${rc}):\n${stderr}")
+  endif()
+endfunction()
+
+run_cli(_ ${MATRIX_FLAGS} --threads 1 --csv ${WORK_DIR}/full.csv)
+run_cli(_ ${MATRIX_FLAGS} --threads 0 --shard 0/2 --csv ${WORK_DIR}/shard0.csv)
+run_cli(_ ${MATRIX_FLAGS} --threads 0 --shard 1/2 --csv ${WORK_DIR}/shard1.csv)
+run_cli(_ --merge-csv ${WORK_DIR}/shard1.csv,${WORK_DIR}/shard0.csv
+        --csv ${WORK_DIR}/merged.csv)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${WORK_DIR}/full.csv ${WORK_DIR}/merged.csv
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "sharded+merged sweep CSV differs from the unsharded single-threaded run "
+    "(${WORK_DIR}/full.csv vs ${WORK_DIR}/merged.csv)")
+endif()
+message(STATUS "shard round-trip OK: merged CSV is byte-identical to the unsharded run")
+
+# --merge-csv must refuse to truncate one of its own inputs.
+execute_process(
+  COMMAND ${PLRUPART_CLI} --merge-csv ${WORK_DIR}/shard0.csv,${WORK_DIR}/shard1.csv
+          --csv ${WORK_DIR}/shard0.csv
+  RESULT_VARIABLE overwrite_rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(overwrite_rc EQUAL 0)
+  message(FATAL_ERROR "--merge-csv overwrote one of its own input shards")
+endif()
+file(SIZE ${WORK_DIR}/shard0.csv shard0_size)
+if(shard0_size EQUAL 0)
+  message(FATAL_ERROR "--merge-csv truncated input shard0.csv before refusing")
+endif()
+message(STATUS "merge refused to overwrite an input shard (rc=${overwrite_rc}), data intact")
