@@ -1,0 +1,39 @@
+# Tier-1 benchmark-baseline gate, run as a CTest test (see bench/CMakeLists).
+#
+# Reruns one figure/table bench with the pinned reference flags and compares
+# its CSV against the checked-in baseline under bench/baselines/ with
+# csv_compare's relative tolerance — so an accuracy regression in the
+# simulated metrics fails tier-1 instead of waiting for someone to re-read
+# the figures.
+#
+# Usage: cmake -DBENCH_BIN=<bench> -DBENCH_ARGS=<;-list> -DCOMPARE_BIN=<csv_compare>
+#              -DBASELINE=<expected.csv> -DOUT_CSV=<scratch.csv> [-DREL_TOL=0.02]
+#              -P baseline_check.cmake
+foreach(var BENCH_BIN COMPARE_BIN BASELINE OUT_CSV)
+  if(NOT ${var})
+    message(FATAL_ERROR "${var} must be set")
+  endif()
+endforeach()
+if(NOT REL_TOL)
+  set(REL_TOL 0.02)
+endif()
+
+separate_arguments(bench_args UNIX_COMMAND "${BENCH_ARGS}")
+execute_process(
+  COMMAND ${BENCH_BIN} ${bench_args} --csv ${OUT_CSV}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH_BIN} ${BENCH_ARGS} failed (rc=${bench_rc}):\n${bench_err}")
+endif()
+
+execute_process(
+  COMMAND ${COMPARE_BIN} ${BASELINE} ${OUT_CSV} ${REL_TOL}
+  RESULT_VARIABLE cmp_rc
+  ERROR_VARIABLE cmp_err)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR
+    "benchmark output drifted from its checked-in baseline (${BASELINE}):\n${cmp_err}")
+endif()
+message(STATUS "baseline OK: ${OUT_CSV} matches ${BASELINE} within rel tol ${REL_TOL}")

@@ -1,10 +1,17 @@
 // google-benchmark microbenchmarks: per-access cost of the replacement-policy
-// state machines (the software analogue of Table I(b)'s update costs).
+// state machines (the software analogue of Table I(b)'s update costs) and of
+// the full L2/ATD access paths that dominate every figure reproduction.
+//
+// The access benchmarks replay pre-generated address streams so the timed
+// loop measures the cache datapath itself, not the RNG that feeds it.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "cache/replacement.hpp"
 #include "common/rng.hpp"
+#include "core/atd.hpp"
 
 using namespace plrupart;
 using cache::Geometry;
@@ -25,9 +32,22 @@ ReplacementKind kind_of(std::int64_t i) {
       return ReplacementKind::kNru;
     case 2:
       return ReplacementKind::kTreePlru;
-    default:
+    case 3:
       return ReplacementKind::kRandom;
+    default:
+      return ReplacementKind::kSrrip;
   }
+}
+
+/// Power-of-two-sized byte-address stream spanning `span_lines` cache lines
+/// of `geo`, replayed circularly by the access benchmarks.
+std::vector<cache::Addr> make_addr_stream(const Geometry& geo, std::uint64_t span_lines,
+                                          std::uint64_t seed) {
+  constexpr std::size_t kStream = 1 << 16;
+  std::vector<cache::Addr> addrs(kStream);
+  Rng rng(seed);
+  for (auto& a : addrs) a = rng.next_below(span_lines) * geo.line_bytes;
+  return addrs;
 }
 
 void BM_PolicyHitUpdate(benchmark::State& state) {
@@ -79,19 +99,60 @@ void BM_PolicyMaskedVictim(benchmark::State& state) {
   state.SetLabel(to_string(kind_of(state.range(0))));
 }
 
-void BM_CacheAccessThroughput(benchmark::State& state) {
-  const auto geo = cache::paper_l2_geometry();
-  cache::SetAssocCache c(geo, kind_of(state.range(0)), 2,
-                         cache::EnforcementMode::kWayMasks);
-  c.set_way_mask(0, way_range_mask(0, 8));
-  c.set_way_mask(1, way_range_mask(8, 8));
-  Rng rng(3);
+/// Full SetAssocCache::access path: policy × associativity × enforcement.
+/// Two cores split the cache evenly; the address span is 32× the cache so the
+/// stream exercises both the hit scan and the miss/victim path.
+void BM_CacheAccess(benchmark::State& state) {
+  const auto kind = kind_of(state.range(0));
+  const auto ways = static_cast<std::uint32_t>(state.range(1));
+  const auto enf = static_cast<cache::EnforcementMode>(state.range(2));
+  const auto geo = bench_geo(ways);
+  cache::SetAssocCache c(geo, kind, 2, enf);
+  if (enf == cache::EnforcementMode::kWayMasks) {
+    c.set_way_mask(0, way_range_mask(0, ways / 2));
+    c.set_way_mask(1, way_range_mask(ways / 2, ways / 2));
+  } else if (enf == cache::EnforcementMode::kOwnerCounters) {
+    c.set_way_quota(0, ways / 2);
+    c.set_way_quota(1, ways / 2);
+  }
+  const auto addrs = make_addr_stream(geo, 32 * geo.lines(), 3);
+  const std::size_t mask = addrs.size() - 1;
+  std::size_t i = 0;
   for (auto _ : state) {
-    const auto core = static_cast<cache::CoreId>(rng.next_below(2));
-    benchmark::DoNotOptimize(c.access(core, rng.next_below(64 * 1024 * 1024), false));
+    const auto core = static_cast<cache::CoreId>(i & 1);
+    benchmark::DoNotOptimize(c.access(core, addrs[i & mask], false));
+    ++i;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-  state.SetLabel(to_string(kind_of(state.range(0))));
+  state.SetLabel(to_string(kind) + "/" + std::to_string(ways) + "way/" +
+                 to_string(enf));
+}
+
+/// ATD probe path on sampled accesses only (the stream is pre-filtered to
+/// sampled sets, as the hardware filter would before the ATD sees a probe).
+void BM_AtdSampledAccess(benchmark::State& state) {
+  const auto kind = kind_of(state.range(0));
+  const auto ways = static_cast<std::uint32_t>(state.range(1));
+  const Geometry l2 = bench_geo(ways);
+  constexpr std::uint32_t kSampling = 32;
+  core::Atd atd(l2, kind, kSampling);
+  constexpr std::size_t kStream = 1 << 16;
+  std::vector<cache::Addr> lines(kStream);
+  Rng rng(5);
+  for (auto& a : lines) {
+    cache::Addr la;
+    do {
+      la = rng.next_below(32 * l2.lines());
+    } while (!atd.is_sampled(la));
+    a = la;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atd.access(lines[i & (kStream - 1)]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(to_string(kind) + "/" + std::to_string(ways) + "way");
 }
 
 }  // namespace
@@ -103,6 +164,13 @@ BENCHMARK(BM_PolicyVictimSelection)
     ->ArgsProduct({{0, 1, 2, 3}, {4, 16, 64}})
     ->Unit(benchmark::kNanosecond);
 BENCHMARK(BM_PolicyMaskedVictim)->DenseRange(0, 3)->Unit(benchmark::kNanosecond);
-BENCHMARK(BM_CacheAccessThroughput)->DenseRange(0, 3)->Unit(benchmark::kNanosecond);
+// The headline matrix: every policy at 16/32 ways under all three
+// enforcement modes (0 = none, 1 = way masks, 2 = owner counters).
+BENCHMARK(BM_CacheAccess)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {16, 32}, {0, 1, 2}})
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_AtdSampledAccess)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {16, 32}})
+    ->Unit(benchmark::kNanosecond);
 
 BENCHMARK_MAIN();

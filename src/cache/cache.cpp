@@ -1,5 +1,9 @@
 #include "cache/cache.hpp"
 
+#include <algorithm>
+
+#include "cache/policy_visit.hpp"
+
 namespace plrupart::cache {
 
 std::string to_string(EnforcementMode m) {
@@ -20,84 +24,74 @@ SetAssocCache::SetAssocCache(const Geometry& geo, ReplacementKind repl,
     : geo_(geo),
       num_cores_(num_cores),
       enforcement_(enforcement),
+      kind_(repl),
       policy_(make_policy(repl, geo, seed)),
-      lines_(geo.sets() * geo.associativity),
       masks_(num_cores, full_way_mask(geo.associativity)),
       quotas_(num_cores, geo.associativity),
-      owner_counts_(enforcement == EnforcementMode::kOwnerCounters
-                        ? geo.sets() * num_cores
-                        : 0,
-                    0),
       stats_(num_cores) {
   PLRUPART_ASSERT(num_cores >= 1);
   geo_.validate();
+  PLRUPART_ASSERT(kind_ == policy_->kind());
+  ways_ = geo_.associativity;
+  line_shift_ = ilog2_exact(geo_.line_bytes);
+  tag_shift_ = ilog2_exact(geo_.sets());
+  set_mask_ = geo_.sets() - 1;
+  all_ways_ = full_way_mask(ways_);
+  partial_words_ = (ways_ + 7) / 8;
+  partial_off_ = num_cores_ + 1;
+  meta_stride_ = partial_off_ + partial_words_;
+  tags_.assign(geo_.sets() * ways_, 0);
+  set_meta_.assign(geo_.sets() * meta_stride_, 0);
 }
 
 void SetAssocCache::reset() {
-  for (auto& l : lines_) l = Line{};
-  for (auto& c : owner_counts_) c = 0;
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(set_meta_.begin(), set_meta_.end(), 0);
   policy_->reset();
   stats_.reset();
 }
 
 WayMask SetAssocCache::eviction_mask(std::uint64_t set, CoreId core) const {
-  const WayMask all = full_way_mask(geo_.associativity);
-  switch (enforcement_) {
-    case EnforcementMode::kNone:
-      return all;
-    case EnforcementMode::kWayMasks:
-      return masks_[core];
-    case EnforcementMode::kOwnerCounters: {
-      // Under quota: steal from other cores' lines; at/over quota: evict own.
-      WayMask own = 0;
-      WayMask others = 0;
-      for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
-        const Line& l = line(set, w);
-        if (!l.valid) continue;  // invalid ways are filled before eviction
-        if (l.owner == core)
-          own |= (WayMask{1} << w);
-        else
-          others |= (WayMask{1} << w);
-      }
-      const bool under_quota = owner_count(set, core) < quotas_[core];
-      if (under_quota && others != 0) return others;
-      if (own != 0) return own;
-      // Degenerate set states (core owns everything, or owns nothing while at
-      // quota zero lines): fall back to any valid line.
-      return (own | others) != 0 ? (own | others) : all;
-    }
-  }
-  return all;
+  // Under quota: steal from other cores' lines; at/over quota: evict own.
+  // The per-core ownership bitmasks are maintained incrementally, so this
+  // is O(1) in the associativity (the pre-SoA layout rescanned every way).
+  const WayMask valid = valid_mask(set);
+  const WayMask own = owner_ways(set, core);
+  const WayMask others = valid & ~own;
+  const bool under_quota = mask_count(own) < quotas_[core];
+  if (under_quota && others != 0) return others;
+  if (own != 0) return own;
+  // Degenerate set states (core owns everything, or owns nothing while at
+  // quota zero lines): fall back to any valid line.
+  return valid != 0 ? valid : all_ways_;
 }
 
-AccessOutcome SetAssocCache::access(CoreId core, Addr addr, bool write) {
+template <EnforcementMode E, class Policy>
+AccessOutcome SetAssocCache::access_impl(Policy& pol, CoreId core, Addr addr,
+                                         bool write) {
   PLRUPART_ASSERT(core < num_cores_);
-  const Addr la = geo_.line_addr(addr);
-  const std::uint64_t set = geo_.set_index(la);
-  const std::uint64_t tag = geo_.tag(la);
+  const Addr la = addr >> line_shift_;
+  const std::uint64_t set = la & set_mask_;
+  const std::uint64_t tag = la >> tag_shift_;
 
   CoreCacheStats& cs = stats_.per_core[core];
   ++cs.accesses;
-  if (write) ++cs.writes;
+  cs.writes += static_cast<std::uint64_t>(write);
 
   // The scope the replacement policy sees (NRU saturation resets, fills): the
   // core's way mask under mask enforcement, the whole set otherwise. Owner
   // counters derive their victim scope from line ownership, not from here.
-  const WayMask policy_scope = enforcement_ == EnforcementMode::kWayMasks
-                                   ? masks_[core]
-                                   : full_way_mask(geo_.associativity);
-  AccessOutcome out;
+  const WayMask policy_scope =
+      E == EnforcementMode::kWayMasks ? masks_[core] : all_ways_;
 
   // Hit path: a core may hit in any way, regardless of partitioning.
-  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
-    Line& l = line(set, w);
-    if (l.valid && l.tag == tag) {
-      ++cs.hits;
-      policy_->on_hit(set, w, policy_scope);
-      out.hit = true;
-      out.way = w;
-      return out;
-    }
+  if (const std::uint32_t w = find_way(set, tag); w != kNoWay) {
+    ++cs.hits;
+    pol.on_hit(set, w, policy_scope);
+    AccessOutcome out;
+    out.hit = true;
+    out.way = w;
+    return out;
   }
 
   // Miss path.
@@ -106,87 +100,87 @@ AccessOutcome SetAssocCache::access(CoreId core, Addr addr, bool write) {
   // Fill an invalid way first. Invalid lines belong to nobody, so the scan is
   // scoped by the way mask (mask enforcement confines a core's fills) but not
   // by ownership quotas.
-  std::uint32_t victim = geo_.associativity;  // sentinel
-  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
-    if (mask_test(policy_scope, w) && !line(set, w).valid) {
-      victim = w;
-      break;
-    }
-  }
-  if (victim == geo_.associativity) {
-    const WayMask victim_scope = enforcement_ == EnforcementMode::kOwnerCounters
+  std::uint32_t victim;
+  if (const WayMask invalid = policy_scope & ~valid_mask(set); invalid != 0) {
+    victim = mask_first(invalid);
+  } else {
+    const WayMask victim_scope = E == EnforcementMode::kOwnerCounters
                                      ? eviction_mask(set, core)
                                      : policy_scope;
-    victim = policy_->choose_victim(set, victim_scope);
+    victim = pol.choose_victim(set, victim_scope);
     PLRUPART_ASSERT_MSG(mask_test(victim_scope, victim),
                         "victim escaped the enforcement mask");
   }
 
-  Line& v = line(set, victim);
-  if (v.valid) {
+  AccessOutcome out;
+  const std::uint64_t idx = set * ways_ + victim;
+  const WayMask victim_bit = WayMask{1} << victim;
+  if ((valid_mask(set) & victim_bit) != 0) {
+    const CoreId prev_owner = owner_of(set, victim);
     out.evicted_valid = true;
-    out.evicted_line = (v.tag << ilog2_exact(geo_.sets())) | set;
-    out.evicted_owner = v.owner;
-    if (v.owner == core)
+    out.evicted_line = (tags_[idx] << tag_shift_) | set;
+    out.evicted_owner = prev_owner;
+    if (prev_owner == core)
       ++cs.self_evictions;
     else
       ++cs.cross_evictions;
-    if (enforcement_ == EnforcementMode::kOwnerCounters) {
-      PLRUPART_ASSERT(owner_count(set, v.owner) > 0);
-      --owner_count(set, v.owner);
-    }
+    owner_ways(set, prev_owner) &= ~victim_bit;
   }
 
-  v.tag = tag;
-  v.owner = core;
-  v.valid = true;
-  if (enforcement_ == EnforcementMode::kOwnerCounters) ++owner_count(set, core);
+  tags_[idx] = tag;
+  set_partial(set, victim, tag);
+  valid_mask(set) |= victim_bit;
+  owner_ways(set, core) |= victim_bit;
 
-  policy_->on_fill(set, victim, policy_scope);
+  pol.on_fill(set, victim, policy_scope);
   out.hit = false;
   out.way = victim;
   return out;
 }
 
-AccessOutcome SetAssocCache::probe(Addr addr) const {
-  const Addr la = geo_.line_addr(addr);
-  const std::uint64_t set = geo_.set_index(la);
-  const std::uint64_t tag = geo_.tag(la);
-  AccessOutcome out;
-  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
-    const Line& l = line(set, w);
-    if (l.valid && l.tag == tag) {
-      out.hit = true;
-      out.way = w;
-      return out;
+AccessOutcome SetAssocCache::access(CoreId core, Addr addr, bool write) {
+  return visit_policy(kind_, *policy_, [&](auto& pol) {
+    switch (enforcement_) {
+      case EnforcementMode::kWayMasks:
+        return access_impl<EnforcementMode::kWayMasks>(pol, core, addr, write);
+      case EnforcementMode::kOwnerCounters:
+        return access_impl<EnforcementMode::kOwnerCounters>(pol, core, addr, write);
+      case EnforcementMode::kNone:
+        break;
     }
+    return access_impl<EnforcementMode::kNone>(pol, core, addr, write);
+  });
+}
+
+AccessOutcome SetAssocCache::probe(Addr addr) const {
+  const Addr la = addr >> line_shift_;
+  const std::uint64_t set = la & set_mask_;
+  const std::uint64_t tag = la >> tag_shift_;
+  AccessOutcome out;
+  if (const std::uint32_t w = find_way(set, tag); w != kNoWay) {
+    out.hit = true;
+    out.way = w;
   }
   return out;
 }
 
 bool SetAssocCache::invalidate(Addr addr) {
-  const Addr la = geo_.line_addr(addr);
-  const std::uint64_t set = geo_.set_index(la);
-  const std::uint64_t tag = geo_.tag(la);
-  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
-    Line& l = line(set, w);
-    if (l.valid && l.tag == tag) {
-      l.valid = false;
-      if (enforcement_ == EnforcementMode::kOwnerCounters) {
-        PLRUPART_ASSERT(owner_count(set, l.owner) > 0);
-        --owner_count(set, l.owner);
-      }
-      return true;
-    }
-  }
-  return false;
+  const Addr la = addr >> line_shift_;
+  const std::uint64_t set = la & set_mask_;
+  const std::uint64_t tag = la >> tag_shift_;
+  const std::uint32_t w = find_way(set, tag);
+  if (w == kNoWay) return false;
+  const WayMask bit = WayMask{1} << w;
+  owner_ways(set, owner_of(set, w)) &= ~bit;
+  valid_mask(set) &= ~bit;
+  return true;
 }
 
 void SetAssocCache::set_way_mask(CoreId core, WayMask mask) {
   PLRUPART_ASSERT(core < num_cores_);
   PLRUPART_ASSERT_MSG(enforcement_ == EnforcementMode::kWayMasks,
                       "way masks only apply in kWayMasks mode");
-  mask &= full_way_mask(geo_.associativity);
+  mask &= all_ways_;
   PLRUPART_ASSERT_MSG(mask != 0, "a core needs at least one way");
   masks_[core] = mask;
 }
@@ -200,7 +194,7 @@ void SetAssocCache::set_way_quota(CoreId core, std::uint32_t ways) {
   PLRUPART_ASSERT(core < num_cores_);
   PLRUPART_ASSERT_MSG(enforcement_ == EnforcementMode::kOwnerCounters,
                       "quotas only apply in kOwnerCounters mode");
-  PLRUPART_ASSERT(ways >= 1 && ways <= geo_.associativity);
+  PLRUPART_ASSERT(ways >= 1 && ways <= ways_);
   quotas_[core] = ways;
 }
 
@@ -211,13 +205,7 @@ std::uint32_t SetAssocCache::way_quota(CoreId core) const {
 
 std::uint32_t SetAssocCache::owned_in_set(std::uint64_t set, CoreId core) const {
   PLRUPART_ASSERT(core < num_cores_);
-  if (enforcement_ == EnforcementMode::kOwnerCounters) return owner_count(set, core);
-  std::uint32_t n = 0;
-  for (std::uint32_t w = 0; w < geo_.associativity; ++w) {
-    const Line& l = line(set, w);
-    if (l.valid && l.owner == core) ++n;
-  }
-  return n;
+  return mask_count(owner_ways(set, core));
 }
 
 }  // namespace plrupart::cache

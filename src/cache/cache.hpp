@@ -12,6 +12,25 @@
 //                     each line is tagged with its owner core; a core under its
 //                     quota steals the victim from other cores' lines, a core
 //                     at/over quota evicts among its own.
+//
+// Hot-path layout (the simulator replays hundreds of millions of accesses
+// through here, so throughput bounds every figure reproduction):
+//  * Structure-of-arrays set state: contiguous per-set tag words plus one
+//    per-set block of bitmasks — [valid, owned-by-core-0, .., owned-by-core-
+//    N-1] — so the hit scan is a branch-light tag-compare loop, invalid-way
+//    search is a single count-trailing-zeros, and the owner-counter
+//    enforcement mask is two bitwise ops (the bitmasks are maintained
+//    incrementally on fill/evict/invalidate; owner *counts* are popcounts,
+//    and a line's owner is recovered from the owner masks on eviction).
+//    Keeping valid and ownership in one block means all per-set mask state
+//    shares one cache line for up to 7 cores.
+//  * Static policy dispatch: the per-access path is templated over the
+//    concrete replacement policy (selected once per access by a switch on the
+//    construction-time ReplacementKind — see policy_visit.hpp), so the policy
+//    update inlines instead of paying 2-3 virtual calls per access. The
+//    virtual `policy()` seam remains for tests, tools and profilers.
+//  * Address decomposition constants (line shift, set mask, tag shift) are
+//    precomputed, eliminating the per-access divisions hidden in Geometry.
 #pragma once
 
 #include <cstdint>
@@ -73,6 +92,7 @@ class SetAssocCache {
   [[nodiscard]] const Geometry& geometry() const noexcept { return geo_; }
   [[nodiscard]] EnforcementMode enforcement() const noexcept { return enforcement_; }
   [[nodiscard]] std::uint32_t num_cores() const noexcept { return num_cores_; }
+  [[nodiscard]] ReplacementKind replacement() const noexcept { return kind_; }
   [[nodiscard]] ReplacementPolicy& policy() noexcept { return *policy_; }
   [[nodiscard]] const ReplacementPolicy& policy() const noexcept { return *policy_; }
   [[nodiscard]] const CacheStatsBundle& stats() const noexcept { return stats_; }
@@ -82,38 +102,108 @@ class SetAssocCache {
   void reset();
 
  private:
-  struct Line {
-    std::uint64_t tag = 0;
-    CoreId owner = 0;
-    bool valid = false;
-  };
+  static constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
 
-  [[nodiscard]] Line& line(std::uint64_t set, std::uint32_t way) {
-    return lines_[set * geo_.associativity + way];
-  }
-  [[nodiscard]] const Line& line(std::uint64_t set, std::uint32_t way) const {
-    return lines_[set * geo_.associativity + way];
+  /// The one tag-scan everybody shares (access hit path, probe, invalidate).
+  /// Two-phase, like a hardware way predictor: a SWAR compare over the set's
+  /// packed 1-byte partial tags (A bytes — one or two words, a single cache
+  /// line) nominates candidate ways, and only candidates load the full tag
+  /// word for exact verification. A miss usually touches no tag line at all;
+  /// a hit usually verifies exactly one way. Returns the way or kNoWay.
+  [[nodiscard]] std::uint32_t find_way(std::uint64_t set, std::uint64_t tag) const {
+    const std::uint64_t needle = (tag & 0xff) * 0x0101010101010101ULL;
+    const std::uint64_t* pw = set_meta_.data() + set * meta_stride_ + partial_off_;
+    WayMask candidates = 0;
+    for (std::uint32_t j = 0; j < partial_words_; ++j) {
+      // Zero-byte finder on pw[j] ^ needle: 0x80 marks each matching byte;
+      // the movemask multiply packs those marks into 8 way bits, branchlessly.
+      const std::uint64_t x = pw[j] ^ needle;
+      const std::uint64_t hit_bytes =
+          (x - 0x0101010101010101ULL) & ~x & 0x8080808080808080ULL;
+      candidates |= ((hit_bytes * 0x0002040810204081ULL) >> 56) << (j * 8);
+    }
+    candidates &= valid_mask(set);
+    const std::uint64_t* tags = tags_.data() + set * ways_;
+    while (candidates != 0) {
+      const std::uint32_t w = mask_first(candidates);
+      if (tags[w] == tag) return w;
+      candidates &= candidates - 1;
+    }
+    return kNoWay;
   }
 
-  /// The ways `core` may search for a victim in `set` under the active
-  /// enforcement mode (always non-empty).
+  /// Write `way`'s 1-byte partial tag (the low tag byte) into the filter.
+  void set_partial(std::uint64_t set, std::uint32_t way, std::uint64_t tag) {
+    std::uint64_t& word = set_meta_[set * meta_stride_ + partial_off_ + way / 8];
+    const std::uint32_t shift = (way % 8) * 8;
+    word = (word & ~(std::uint64_t{0xff} << shift)) | ((tag & 0xff) << shift);
+  }
+
+  /// The statically-dispatched access core; `Policy` is the concrete (final)
+  /// replacement class, so every policy hook inlines, and `E` is the
+  /// enforcement mode, so the unpartitioned path carries no enforcement
+  /// branches and the mask/quota paths fold their scope selection.
+  template <EnforcementMode E, class Policy>
+  AccessOutcome access_impl(Policy& pol, CoreId core, Addr addr, bool write);
+
+  /// The ways `core` may search for a victim in `set` under kOwnerCounters
+  /// enforcement (always non-empty). kNone/kWayMasks scopes come straight
+  /// from `all_ways_`/`masks_` in the statically-dispatched access core.
   [[nodiscard]] WayMask eviction_mask(std::uint64_t set, CoreId core) const;
 
-  [[nodiscard]] std::uint32_t& owner_count(std::uint64_t set, CoreId core) {
-    return owner_counts_[set * num_cores_ + core];
+  [[nodiscard]] WayMask& valid_mask(std::uint64_t set) {
+    return set_meta_[set * meta_stride_];
   }
-  [[nodiscard]] std::uint32_t owner_count(std::uint64_t set, CoreId core) const {
-    return owner_counts_[set * num_cores_ + core];
+  [[nodiscard]] WayMask valid_mask(std::uint64_t set) const {
+    return set_meta_[set * meta_stride_];
+  }
+  [[nodiscard]] WayMask& owner_ways(std::uint64_t set, CoreId core) {
+    return set_meta_[set * meta_stride_ + 1 + core];
+  }
+  [[nodiscard]] WayMask owner_ways(std::uint64_t set, CoreId core) const {
+    return set_meta_[set * meta_stride_ + 1 + core];
+  }
+
+  /// Owner of the valid line in `way` of `set`, recovered from the ownership
+  /// bitmasks (they partition the valid mask, so exactly one core matches).
+  [[nodiscard]] CoreId owner_of(std::uint64_t set, std::uint32_t way) const {
+    const WayMask bit = WayMask{1} << way;
+    const WayMask* owned = set_meta_.data() + set * meta_stride_ + 1;
+    for (CoreId c = 0; c + 1 < num_cores_; ++c) {
+      if ((owned[c] & bit) != 0) return c;
+    }
+    PLRUPART_ASSERT((owned[num_cores_ - 1] & bit) != 0);
+    return num_cores_ - 1;
   }
 
   Geometry geo_;
   std::uint32_t num_cores_;
   EnforcementMode enforcement_;
+  ReplacementKind kind_;
   std::unique_ptr<ReplacementPolicy> policy_;
-  std::vector<Line> lines_;
+
+  // Address decomposition, precomputed from geo_ (all powers of two).
+  std::uint32_t ways_ = 0;
+  std::uint32_t line_shift_ = 0;
+  std::uint32_t tag_shift_ = 0;  ///< log2(sets)
+  std::uint64_t set_mask_ = 0;
+  WayMask all_ways_ = 0;
+
+  // SoA set state.
+  std::vector<std::uint64_t> tags_;  ///< [set * A + way]
+  /// Per-set metadata block of `meta_stride_` words, laid out so that all the
+  /// mask state an access touches shares one or two adjacent cache lines:
+  ///   [0]                      valid bitmask
+  ///   [1 + c]                  ways owned by core c (partitions the valid mask)
+  ///   [partial_off_ + j]       packed 1-byte partial tags (byte w%8 of word
+  ///                            w/8 holds way w's low tag byte) — find_way's filter
+  std::vector<WayMask> set_meta_;
+  std::uint32_t meta_stride_ = 0;   ///< (1 + num_cores) + ceil(A / 8)
+  std::uint32_t partial_off_ = 0;   ///< 1 + num_cores
+  std::uint32_t partial_words_ = 0; ///< ceil(A / 8)
+
   std::vector<WayMask> masks_;          // kWayMasks: per-core eviction masks
   std::vector<std::uint32_t> quotas_;   // kOwnerCounters: per-core way quotas
-  std::vector<std::uint32_t> owner_counts_;  // kOwnerCounters: per set x core
   CacheStatsBundle stats_;
 };
 

@@ -12,43 +12,6 @@ void TrueLru::reset() {
     for (std::uint32_t w = 0; w < ways_; ++w) pos(s, w) = static_cast<std::uint8_t>(w);
 }
 
-void TrueLru::promote(std::uint64_t set, std::uint32_t way) {
-  const std::uint8_t old = pos(set, way);
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (pos(set, w) < old) ++pos(set, w);
-  }
-  pos(set, way) = 0;
-}
-
-void TrueLru::on_hit(std::uint64_t set, std::uint32_t way, WayMask /*allowed*/) {
-  promote(set, way);
-}
-
-void TrueLru::on_fill(std::uint64_t set, std::uint32_t way, WayMask /*allowed*/) {
-  promote(set, way);
-}
-
-std::uint32_t TrueLru::choose_victim(std::uint64_t set, WayMask allowed) {
-  PLRUPART_ASSERT((allowed & all_ways()) != 0);
-  std::uint32_t victim = 0;
-  std::uint8_t deepest = 0;
-  bool found = false;
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (!mask_test(allowed, w)) continue;
-    if (!found || pos(set, w) > deepest) {
-      victim = w;
-      deepest = pos(set, w);
-      found = true;
-    }
-  }
-  return victim;
-}
-
-StackEstimate TrueLru::estimate_position(std::uint64_t set, std::uint32_t way) const {
-  const auto p = static_cast<std::uint32_t>(pos(set, way)) + 1;  // 1-based
-  return StackEstimate{.lo = p, .hi = p, .point = p};
-}
-
 std::uint32_t TrueLru::stack_position(std::uint64_t set, std::uint32_t way) const {
   return pos(set, way);
 }

@@ -11,58 +11,6 @@ void Nru::reset() {
   pointer_ = 0;
 }
 
-void Nru::mark_used(std::uint64_t set, std::uint32_t way, WayMask allowed) {
-  WayMask& used = used_[set];
-  const WayMask line = WayMask{1} << way;
-  // The saturation scope: the accessing core's ways plus the line it touched
-  // (hits are allowed to land outside the core's partition).
-  const WayMask scope = (allowed | line) & all_ways();
-  used |= line;
-  if ((used & scope) == scope) {
-    used &= ~scope;
-    used |= line;
-  }
-}
-
-void Nru::on_hit(std::uint64_t set, std::uint32_t way, WayMask allowed) {
-  mark_used(set, way, allowed);
-}
-
-void Nru::on_fill(std::uint64_t set, std::uint32_t way, WayMask allowed) {
-  mark_used(set, way, allowed);
-}
-
-std::uint32_t Nru::choose_victim(std::uint64_t set, WayMask allowed) {
-  allowed &= all_ways();
-  PLRUPART_ASSERT(allowed != 0);
-  WayMask& used = used_[set];
-
-  WayMask candidates = allowed & ~used;
-  if (candidates == 0) {
-    // Every allowed line is marked used: reset the allowed scope and retry.
-    // The base (unpartitioned) policy never reaches this state because the
-    // access-side saturation reset guarantees at least one clear bit, but a
-    // partition-restricted scan can.
-    used &= ~allowed;
-    candidates = allowed;
-  }
-
-  const std::uint32_t victim = mask_next_circular(candidates, pointer_, ways_);
-  pointer_ = (victim + 1) % ways_;
-  return victim;
-}
-
-StackEstimate Nru::estimate_position(std::uint64_t set, std::uint32_t way) const {
-  const WayMask used = used_[set] & all_ways();
-  const std::uint32_t u = mask_count(used);
-  if (mask_test(used, way)) {
-    // Accessed line recently used: somewhere within the U most-recent lines.
-    return StackEstimate{.lo = 1, .hi = u, .point = u};
-  }
-  // Not recently used: deeper than every used line.
-  return StackEstimate{.lo = u + 1, .hi = ways_, .point = ways_};
-}
-
 bool Nru::used_bit(std::uint64_t set, std::uint32_t way) const {
   return mask_test(used_[set], way);
 }

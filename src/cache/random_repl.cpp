@@ -7,27 +7,4 @@ RandomRepl::RandomRepl(const Geometry& geo, std::uint64_t seed)
 
 void RandomRepl::reset() { rng_ = Rng(seed_); }
 
-void RandomRepl::on_hit(std::uint64_t, std::uint32_t, WayMask) {}
-void RandomRepl::on_fill(std::uint64_t, std::uint32_t, WayMask) {}
-
-std::uint32_t RandomRepl::choose_victim(std::uint64_t /*set*/, WayMask allowed) {
-  allowed &= all_ways();
-  PLRUPART_ASSERT(allowed != 0);
-  const std::uint32_t n = mask_count(allowed);
-  std::uint32_t k = static_cast<std::uint32_t>(rng_.next_below(n));
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (!mask_test(allowed, w)) continue;
-    if (k == 0) return w;
-    --k;
-  }
-  PLRUPART_ASSERT_MSG(false, "unreachable: mask emptied mid-scan");
-  return 0;
-}
-
-StackEstimate RandomRepl::estimate_position(std::uint64_t, std::uint32_t) const {
-  // Random replacement keeps no recency state: the profiling logic can bound
-  // the position only by the full stack.
-  return StackEstimate{.lo = 1, .hi = ways_, .point = ways_};
-}
-
 }  // namespace plrupart::cache

@@ -1,5 +1,8 @@
 // Uniform-random replacement: the reference point the paper compares NRU's
 // pointer-driven behavior against ("guarantees a random-like replacement").
+//
+// The per-access methods are defined inline (and the class is final) so the
+// cache's statically-dispatched access path inlines them without LTO.
 #pragma once
 
 #include <cstdint>
@@ -17,11 +20,25 @@ class RandomRepl final : public ReplacementPolicy {
     return ReplacementKind::kRandom;
   }
 
-  void on_hit(std::uint64_t set, std::uint32_t way, WayMask allowed) override;
-  void on_fill(std::uint64_t set, std::uint32_t way, WayMask allowed) override;
-  [[nodiscard]] std::uint32_t choose_victim(std::uint64_t set, WayMask allowed) override;
-  [[nodiscard]] StackEstimate estimate_position(std::uint64_t set,
-                                                std::uint32_t way) const override;
+  void on_hit(std::uint64_t, std::uint32_t, WayMask) override {}
+  void on_fill(std::uint64_t, std::uint32_t, WayMask) override {}
+
+  [[nodiscard]] std::uint32_t choose_victim(std::uint64_t /*set*/, WayMask allowed) override {
+    allowed &= all_ways();
+    PLRUPART_ASSERT(allowed != 0);
+    const std::uint32_t n = mask_count(allowed);
+    std::uint32_t k = static_cast<std::uint32_t>(rng_.next_below(n));
+    // Select the k-th set bit by clearing the k lowest ones.
+    for (; k > 0; --k) allowed &= allowed - 1;
+    return mask_first(allowed);
+  }
+
+  [[nodiscard]] StackEstimate estimate_position(std::uint64_t, std::uint32_t) const override {
+    // Random replacement keeps no recency state: the profiling logic can bound
+    // the position only by the full stack.
+    return StackEstimate{.lo = 1, .hi = ways_, .point = ways_};
+  }
+
   void reset() override;
 
  private:

@@ -42,7 +42,9 @@ struct StackEstimate {
 class ReplacementPolicy {
  public:
   ReplacementPolicy(const Geometry& geo)
-      : sets_(geo.sets()), ways_(geo.associativity) {}
+      : sets_(geo.sets()),
+        ways_(geo.associativity),
+        all_mask_(full_way_mask(geo.associativity)) {}
   virtual ~ReplacementPolicy() = default;
 
   ReplacementPolicy(const ReplacementPolicy&) = delete;
@@ -72,11 +74,14 @@ class ReplacementPolicy {
 
   [[nodiscard]] std::uint64_t sets() const noexcept { return sets_; }
   [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
-  [[nodiscard]] WayMask all_ways() const { return full_way_mask(ways_); }
+  /// Cached full mask: the policies re-mask `allowed` with this on every
+  /// access, so it must not re-derive (and re-assert) the mask each call.
+  [[nodiscard]] WayMask all_ways() const noexcept { return all_mask_; }
 
  protected:
   std::uint64_t sets_;
   std::uint32_t ways_;
+  WayMask all_mask_;
 };
 
 /// Factory covering every policy the library ships.

@@ -10,39 +10,4 @@ void Srrip::reset() {
   for (auto& r : rrpv_) r = kMaxRrpv;
 }
 
-void Srrip::on_hit(std::uint64_t set, std::uint32_t way, WayMask /*allowed*/) {
-  rrpv_[set * ways_ + way] = kHitRrpv;
-}
-
-void Srrip::on_fill(std::uint64_t set, std::uint32_t way, WayMask /*allowed*/) {
-  rrpv_[set * ways_ + way] = kInsertRrpv;
-}
-
-std::uint32_t Srrip::choose_victim(std::uint64_t set, WayMask allowed) {
-  allowed &= all_ways();
-  PLRUPART_ASSERT(allowed != 0);
-  for (;;) {
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (mask_test(allowed, w) && rrpv_[set * ways_ + w] == kMaxRrpv) return w;
-    }
-    // Age only the victim scope: lines of other partitions keep their RRPVs,
-    // mirroring how the paper scopes the NRU used-bit reset.
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (mask_test(allowed, w)) ++rrpv_[set * ways_ + w];
-    }
-  }
-}
-
-StackEstimate Srrip::estimate_position(std::uint64_t set, std::uint32_t way) const {
-  const std::uint32_t r = rrpv(set, way);
-  // Quartile width; associativities below 4 collapse to coarse buckets.
-  const std::uint32_t span = ways_ >= 4 ? ways_ / 4 : 1;
-  std::uint32_t lo = r * span + 1;
-  std::uint32_t hi = (r + 1) * span;
-  if (lo > ways_) lo = ways_;
-  if (hi > ways_) hi = ways_;
-  if (r == kMaxRrpv) hi = ways_;  // the distant quartile always reaches A
-  return StackEstimate{.lo = lo, .hi = hi, .point = hi};
-}
-
 }  // namespace plrupart::cache

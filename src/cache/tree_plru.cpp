@@ -6,64 +6,21 @@ TreePlru::TreePlru(const Geometry& geo)
     : ReplacementPolicy(geo), levels_(ilog2_exact(geo.associativity)) {
   PLRUPART_ASSERT_MSG(ways_ >= 2, "tree PLRU needs associativity >= 2");
   tree_.resize(sets_, 0);
+  path_node_mask_.resize(ways_, 0);
+  path_node_value_.resize(ways_, 0);
+  for (std::uint32_t way = 0; way < ways_; ++way) {
+    std::uint32_t node = 0;
+    for (std::uint32_t level = 0; level < levels_; ++level) {
+      const std::uint32_t dir = direction_bit(way, level);
+      path_node_mask_[way] |= std::uint64_t{1} << node;
+      if (dir == 0) path_node_value_[way] |= std::uint64_t{1} << node;
+      node = 2 * node + 1 + dir;
+    }
+  }
 }
 
 void TreePlru::reset() {
   for (auto& t : tree_) t = 0;
-}
-
-// Direction of `way` at tree level l (0 = root): 0 = upper child, 1 = lower.
-// Way indices are consumed MSB-first along the path.
-namespace {
-[[nodiscard]] inline std::uint32_t direction_bit(std::uint32_t way, std::uint32_t level,
-                                                 std::uint32_t levels) {
-  return (way >> (levels - 1 - level)) & 1U;
-}
-}  // namespace
-
-void TreePlru::promote(std::uint64_t set, std::uint32_t way) {
-  std::uint32_t node = 0;
-  for (std::uint32_t level = 0; level < levels_; ++level) {
-    const std::uint32_t dir = direction_bit(way, level, levels_);
-    // Point victim search *away* from this line: traversal follows bit==0 to
-    // the upper child, so a line in the upper subtree sets the bit to 1.
-    set_node_bit(set, node, dir == 0);
-    node = 2 * node + 1 + dir;
-  }
-}
-
-void TreePlru::on_hit(std::uint64_t set, std::uint32_t way, WayMask /*allowed*/) {
-  promote(set, way);
-}
-
-void TreePlru::on_fill(std::uint64_t set, std::uint32_t way, WayMask /*allowed*/) {
-  promote(set, way);
-}
-
-std::uint32_t TreePlru::choose_victim(std::uint64_t set, WayMask allowed) {
-  allowed &= all_ways();
-  PLRUPART_ASSERT(allowed != 0);
-  std::uint32_t node = 0;
-  std::uint32_t lo = 0;
-  std::uint32_t span = ways_;
-  for (std::uint32_t level = 0; level < levels_; ++level) {
-    const std::uint32_t half = span / 2;
-    const WayMask upper = way_range_mask(lo, half) & allowed;
-    const WayMask lower = way_range_mask(lo + half, half) & allowed;
-    std::uint32_t dir;
-    if (upper == 0) {
-      dir = 1;  // nothing allowed above: forced down
-    } else if (lower == 0) {
-      dir = 0;  // forced up
-    } else {
-      dir = node_bit(set, node) ? 1U : 0U;
-    }
-    node = 2 * node + 1 + dir;
-    lo += dir * half;
-    span = half;
-  }
-  PLRUPART_ASSERT(mask_test(allowed, lo));
-  return lo;
 }
 
 std::uint32_t TreePlru::choose_victim_with_vectors(std::uint64_t set,
@@ -88,33 +45,6 @@ std::uint32_t TreePlru::choose_victim_with_vectors(std::uint64_t set,
     span = half;
   }
   return lo;
-}
-
-StackEstimate TreePlru::estimate_position(std::uint64_t set, std::uint32_t way) const {
-  const std::uint32_t x = id_bits(way) ^ path_bits(set, way);
-  const std::uint32_t est = ways_ - x;  // 1 = MRU .. A = pseudo-LRU victim
-  return StackEstimate{.lo = est, .hi = est, .point = est};
-}
-
-std::uint32_t TreePlru::id_bits(std::uint32_t way) const {
-  // The bit values that would make `way` the victim: traversal follows bit==0
-  // upward and bit==1 downward, so the required bit at each level is exactly
-  // the way's direction bit. Packed root-first means this is just the way
-  // number itself — the decoder of Fig. 4(c).
-  PLRUPART_ASSERT(way < ways_);
-  return way;
-}
-
-std::uint32_t TreePlru::path_bits(std::uint64_t set, std::uint32_t way) const {
-  PLRUPART_ASSERT(way < ways_);
-  std::uint32_t bits = 0;
-  std::uint32_t node = 0;
-  for (std::uint32_t level = 0; level < levels_; ++level) {
-    bits = (bits << 1) | (node_bit(set, node) ? 1U : 0U);
-    const std::uint32_t dir = direction_bit(way, level, levels_);
-    node = 2 * node + 1 + dir;
-  }
-  return bits;
 }
 
 std::optional<ForceVectors> TreePlru::derive_force_vectors(WayMask mask) const {

@@ -70,6 +70,30 @@ inline constexpr std::uint32_t kMaxAssociativity = 64;
   return static_cast<std::uint32_t>(std::countr_zero(m));
 }
 
+/// Bitmask of the ways in values[0..ways) equal to `needle`. The shared
+/// per-way equality scan of the lookup and victim paths (ATD tag compare,
+/// SRRIP distant-line scan): chunks of four fixed-offset compares keep the
+/// loop branch-light and give the compiler independent compare chains (and
+/// vectorizable code under -march flags) instead of a serial variable-shift
+/// reduction.
+template <class T>
+[[nodiscard]] inline WayMask tag_match_mask(const T* values, std::uint32_t ways,
+                                            T needle) noexcept {
+  static_assert(std::is_unsigned_v<T>);
+  WayMask match = 0;
+  std::uint32_t w = 0;
+  for (; w + 4 <= ways; w += 4) {
+    const WayMask m0 = static_cast<WayMask>(values[w + 0] == needle ? 1U : 0U);
+    const WayMask m1 = static_cast<WayMask>(values[w + 1] == needle ? 1U : 0U) << 1;
+    const WayMask m2 = static_cast<WayMask>(values[w + 2] == needle ? 1U : 0U) << 2;
+    const WayMask m3 = static_cast<WayMask>(values[w + 3] == needle ? 1U : 0U) << 3;
+    match |= (m0 | m1 | m2 | m3) << w;
+  }
+  for (; w < ways; ++w)
+    match |= static_cast<WayMask>(values[w] == needle ? 1U : 0U) << w;
+  return match;
+}
+
 /// First set way at or after `start`, searching circularly within an A-way set.
 /// Models the NRU replacement pointer scan. Requires m restricted to [0, ways)
 /// to be non-empty.

@@ -1,5 +1,8 @@
 #include "core/atd.hpp"
 
+#include <algorithm>
+
+#include "cache/policy_visit.hpp"
 #include "common/bits.hpp"
 
 namespace plrupart::core {
@@ -21,59 +24,62 @@ Atd::Atd(const cache::Geometry& l2_geometry, cache::ReplacementKind replacement,
     : l2_geo_(l2_geometry),
       atd_geo_(sampled_geometry(l2_geometry, sampling_ratio)),
       sampling_ratio_(sampling_ratio),
-      policy_(cache::make_policy(replacement, atd_geo_, seed)),
-      entries_(atd_geo_.sets() * atd_geo_.associativity) {}
+      kind_(replacement),
+      policy_(cache::make_policy(replacement, atd_geo_, seed)) {
+  PLRUPART_ASSERT(kind_ == policy_->kind());
+  ways_ = atd_geo_.associativity;
+  sample_shift_ = ilog2_exact(sampling_ratio_);
+  l2_tag_shift_ = ilog2_exact(l2_geo_.sets());
+  l2_set_mask_ = l2_geo_.sets() - 1;
+  all_ways_ = full_way_mask(ways_);
+  tags_.assign(atd_geo_.sets() * ways_, 0);
+  valid_.assign(atd_geo_.sets(), 0);
+}
 
 void Atd::reset() {
-  for (auto& e : entries_) e = Entry{};
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(valid_.begin(), valid_.end(), 0);
   policy_->reset();
 }
 
-bool Atd::is_sampled(cache::Addr line_addr) const {
-  // Sample every `ratio`-th L2 set. Keeping the decision on the L2 set index
-  // (not a separate hash) mirrors the hardware wiring in [22].
-  return (l2_geo_.set_index(line_addr) & (sampling_ratio_ - 1)) == 0;
-}
-
-std::optional<AtdObservation> Atd::access(cache::Addr line_addr) {
-  if (!is_sampled(line_addr)) return std::nullopt;
-  const std::uint64_t l2_set = l2_geo_.set_index(line_addr);
-  const std::uint64_t set = l2_set / sampling_ratio_;
-  // Tag must disambiguate everything above the ATD's own index bits; reuse the
-  // line address above the L2 set index plus the sampled set remainder, which
-  // is constant per ATD set, so the plain L2 tag suffices.
-  const std::uint64_t tag = l2_geo_.tag(line_addr);
-
+template <class Policy>
+AtdObservation Atd::access_impl(Policy& pol, std::uint64_t set, std::uint64_t tag) {
   AtdObservation obs;
 
-  const std::uint32_t ways = atd_geo_.associativity;
-  for (std::uint32_t w = 0; w < ways; ++w) {
-    Entry& e = entry(set, w);
-    if (e.valid && e.tag == tag) {
-      obs.hit = true;
-      obs.way = w;
-      obs.estimate = policy_->estimate_position(set, w);
-      policy_->on_hit(set, w, policy_->all_ways());
-      return obs;
-    }
+  if (const std::uint32_t w = find_way(set, tag); w != kNoWay) {
+    obs.hit = true;
+    obs.way = w;
+    obs.estimate = pol.estimate_position(set, w);
+    pol.on_hit(set, w, all_ways_);
+    return obs;
   }
 
   // ATD miss: the thread would miss even owning the full associativity.
   obs.hit = false;
-  std::uint32_t victim = ways;
-  for (std::uint32_t w = 0; w < ways; ++w) {
-    if (!entry(set, w).valid) {
-      victim = w;
-      break;
-    }
+  std::uint32_t victim;
+  if (const WayMask invalid = all_ways_ & ~valid_[set]; invalid != 0) {
+    victim = mask_first(invalid);
+  } else {
+    victim = pol.choose_victim(set, all_ways_);
   }
-  if (victim == ways) victim = policy_->choose_victim(set, policy_->all_ways());
-  Entry& v = entry(set, victim);
-  v.tag = tag;
-  v.valid = true;
-  policy_->on_fill(set, victim, policy_->all_ways());
+  tags_[set * ways_ + victim] = tag;
+  valid_[set] |= WayMask{1} << victim;
+  pol.on_fill(set, victim, all_ways_);
   obs.way = victim;
   return obs;
+}
+
+std::optional<AtdObservation> Atd::access(cache::Addr line_addr) {
+  if (!is_sampled(line_addr)) return std::nullopt;
+  const std::uint64_t l2_set = line_addr & l2_set_mask_;
+  const std::uint64_t set = l2_set >> sample_shift_;
+  // Tag must disambiguate everything above the ATD's own index bits; reuse the
+  // line address above the L2 set index plus the sampled set remainder, which
+  // is constant per ATD set, so the plain L2 tag suffices.
+  const std::uint64_t tag = line_addr >> l2_tag_shift_;
+  return cache::visit_policy(kind_, *policy_, [&](auto& pol) {
+    return access_impl(pol, set, tag);
+  });
 }
 
 std::uint64_t Atd::storage_bits(std::uint32_t tag_bits) const {
@@ -84,7 +90,7 @@ std::uint64_t Atd::storage_bits(std::uint32_t tag_bits) const {
   std::uint64_t per_entry = tag_bits + 1;
   std::uint64_t per_set_extra = 0;
   const std::uint32_t a = atd_geo_.associativity;
-  switch (policy_->kind()) {
+  switch (kind_) {
     case cache::ReplacementKind::kLru:
       per_entry += ilog2_exact(a);
       break;
@@ -101,7 +107,7 @@ std::uint64_t Atd::storage_bits(std::uint32_t tag_bits) const {
       break;
   }
   return entries * per_entry + atd_geo_.sets() * per_set_extra +
-         (policy_->kind() == cache::ReplacementKind::kNru ? ilog2_exact(a) : 0);
+         (kind_ == cache::ReplacementKind::kNru ? ilog2_exact(a) : 0);
 }
 
 }  // namespace plrupart::core

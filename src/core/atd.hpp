@@ -8,6 +8,11 @@
 // The ATD runs its own instance of the cache's replacement policy; the
 // pre-update StackEstimate it reports is exactly what the three profilers
 // (LRU/NRU/BT) consume.
+//
+// Like SetAssocCache, the probe path uses a structure-of-arrays layout
+// (contiguous per-set tags + a valid bitmask) and static policy dispatch, so
+// a sampled access costs a vectorizable tag scan plus an inlined policy
+// update rather than an entry-struct walk and 2-3 virtual calls.
 #pragma once
 
 #include <cstdint>
@@ -41,7 +46,13 @@ class Atd {
   /// missing line is installed over the policy's victim).
   std::optional<AtdObservation> access(cache::Addr line_addr);
 
-  [[nodiscard]] bool is_sampled(cache::Addr line_addr) const;
+  [[nodiscard]] bool is_sampled(cache::Addr line_addr) const {
+    // Sample every `ratio`-th L2 set. Keeping the decision on the L2 set index
+    // (not a separate hash) mirrors the hardware wiring in [22]. The ratio
+    // divides the L2 set count, so masking the line address directly is the
+    // set-index test without the full decomposition.
+    return (line_addr & (sampling_ratio_ - 1)) == 0;
+  }
 
   [[nodiscard]] std::uint32_t sampling_ratio() const noexcept { return sampling_ratio_; }
   [[nodiscard]] std::uint32_t associativity() const noexcept {
@@ -57,20 +68,34 @@ class Atd {
   void reset();
 
  private:
-  struct Entry {
-    std::uint64_t tag = 0;
-    bool valid = false;
-  };
+  static constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
 
-  [[nodiscard]] Entry& entry(std::uint64_t set, std::uint32_t way) {
-    return entries_[set * atd_geo_.associativity + way];
+  /// Shared tag scan of the probe path (same shape as SetAssocCache::find_way).
+  [[nodiscard]] std::uint32_t find_way(std::uint64_t set, std::uint64_t tag) const {
+    const WayMask match =
+        tag_match_mask(tags_.data() + set * ways_, ways_, tag) & valid_[set];
+    return match != 0 ? mask_first(match) : kNoWay;
   }
+
+  template <class Policy>
+  AtdObservation access_impl(Policy& pol, std::uint64_t set, std::uint64_t tag);
 
   cache::Geometry l2_geo_;
   cache::Geometry atd_geo_;
   std::uint32_t sampling_ratio_;
+  cache::ReplacementKind kind_;
   std::unique_ptr<cache::ReplacementPolicy> policy_;
-  std::vector<Entry> entries_;
+
+  // Precomputed address decomposition (all powers of two).
+  std::uint32_t ways_ = 0;
+  std::uint32_t sample_shift_ = 0;  ///< log2(sampling_ratio)
+  std::uint32_t l2_tag_shift_ = 0;  ///< log2(L2 sets)
+  std::uint64_t l2_set_mask_ = 0;
+  WayMask all_ways_ = 0;
+
+  // SoA entry state.
+  std::vector<std::uint64_t> tags_;  ///< [set * A + way]
+  std::vector<WayMask> valid_;       ///< per-set valid bitmask
 };
 
 }  // namespace plrupart::core

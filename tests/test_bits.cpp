@@ -90,5 +90,25 @@ TEST(Bits, MaskNextCircularEmptyThrows) {
   EXPECT_THROW((void)mask_next_circular(1ULL << 10, 0, 8), InvariantError);
 }
 
+TEST(Bits, TagMatchMaskFindsEveryMatch) {
+  const std::uint64_t tags[7] = {5, 9, 5, 0, 42, 5, 9};
+  EXPECT_EQ(tag_match_mask(tags, 7, std::uint64_t{5}), 0b0100101ULL);
+  EXPECT_EQ(tag_match_mask(tags, 7, std::uint64_t{9}), 0b1000010ULL);
+  EXPECT_EQ(tag_match_mask(tags, 7, std::uint64_t{0}), 0b0001000ULL);
+  EXPECT_EQ(tag_match_mask(tags, 7, std::uint64_t{7}), 0ULL);
+  // Sub-chunk tail (ways not a multiple of 4) and single-way scans.
+  EXPECT_EQ(tag_match_mask(tags, 2, std::uint64_t{5}), 0b01ULL);
+  EXPECT_EQ(tag_match_mask(tags, 1, std::uint64_t{9}), 0ULL);
+}
+
+TEST(Bits, TagMatchMaskIgnoresWaysBeyondCount) {
+  const std::uint64_t tags[8] = {1, 1, 1, 1, 1, 1, 1, 1};
+  EXPECT_EQ(tag_match_mask(tags, 5, std::uint64_t{1}), 0b11111ULL);
+  // The byte-wide instantiation the SRRIP victim scan uses.
+  const std::uint8_t rrpv[6] = {3, 0, 3, 2, 3, 1};
+  EXPECT_EQ(tag_match_mask(rrpv, 6, std::uint8_t{3}), 0b010101ULL);
+  EXPECT_EQ(tag_match_mask(rrpv, 4, std::uint8_t{3}), 0b000101ULL);
+}
+
 }  // namespace
 }  // namespace plrupart
