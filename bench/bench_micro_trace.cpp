@@ -1,0 +1,105 @@
+// Micro-benchmarks of the trace codec hot paths: encode/decode throughput of
+// the v1 text and v2 binary formats, and the effect of the streaming buffer
+// size on replay speed. Trace-backed sweeps are bounded by TraceReader::next()
+// the way synthetic sweeps are bounded by SetAssocCache::access, so decode
+// throughput (ops/s and bytes/s) is the number to watch here.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/trace_file.hpp"
+
+namespace {
+
+using namespace plrupart;
+
+/// A capture-shaped op stream: mostly small strides with occasional jumps.
+std::vector<sim::MemOp> make_ops(std::size_t n) {
+  Rng rng(7);
+  std::vector<sim::MemOp> ops;
+  ops.reserve(n);
+  cache::Addr addr = 0x7f00'0000'0000;
+  for (std::size_t i = 0; i < n; ++i) {
+    addr += rng.next_bool(0.9) ? 64 * rng.next_below(8)
+                               : (rng.next_u64() & 0xfff'ffff);
+    ops.push_back(sim::MemOp{.addr = addr, .write = rng.next_bool(0.3),
+                             .gap_instrs = static_cast<std::uint32_t>(rng.next_below(16))});
+  }
+  return ops;
+}
+
+std::string temp_trace_path(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("plrupart_bench_" + std::to_string(::getpid()) + "_" + tag + ".trace"))
+      .string();
+}
+
+constexpr std::size_t kOps = 200'000;
+
+void BM_TraceWrite(benchmark::State& state) {
+  const auto format = static_cast<sim::TraceFormat>(state.range(0));
+  const auto ops = make_ops(kOps);
+  const auto path = temp_trace_path("w");
+  for (auto _ : state) {
+    sim::TraceWriter writer(path, format);
+    for (const auto& op : ops) writer.append(op);
+    writer.close();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kOps));
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_TraceWrite)
+    ->Arg(static_cast<int>(sim::TraceFormat::kTextV1))
+    ->Arg(static_cast<int>(sim::TraceFormat::kBinaryV2))
+    ->ArgName("format");
+
+void BM_TraceRead(benchmark::State& state) {
+  const auto format = static_cast<sim::TraceFormat>(state.range(0));
+  const auto buffer = static_cast<std::size_t>(state.range(1));
+  const auto ops = make_ops(kOps);
+  const auto path = temp_trace_path("r");
+  sim::write_trace_file(path, ops, format);
+  for (auto _ : state) {
+    sim::TraceReader reader(path, buffer);
+    while (auto op = reader.next()) benchmark::DoNotOptimize(op->addr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kOps));
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_TraceRead)
+    ->ArgsProduct({{static_cast<int>(sim::TraceFormat::kTextV1),
+                    static_cast<int>(sim::TraceFormat::kBinaryV2)},
+                   {4 * 1024, 64 * 1024, 1024 * 1024}})
+    ->ArgNames({"format", "buffer"});
+
+/// End-to-end looping replay through FileTraceSource — what a trace-backed
+/// simulation core actually pays per memory operation.
+void BM_FileTraceSourceReplay(benchmark::State& state) {
+  const auto format = static_cast<sim::TraceFormat>(state.range(0));
+  const auto ops = make_ops(kOps);
+  const auto path = temp_trace_path("s");
+  sim::write_trace_file(path, ops, format);
+  sim::FileTraceSource src(path);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kOps; ++i) benchmark::DoNotOptimize(src.next().addr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kOps));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_FileTraceSourceReplay)
+    ->Arg(static_cast<int>(sim::TraceFormat::kTextV1))
+    ->Arg(static_cast<int>(sim::TraceFormat::kBinaryV2))
+    ->ArgName("format");
+
+}  // namespace
+
+BENCHMARK_MAIN();

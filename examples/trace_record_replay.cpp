@@ -1,18 +1,22 @@
 // trace_record_replay: the trace file workflow.
 //
-// 1. Record N operations of a synthetic benchmark to a portable trace file.
+// 1. Record N operations of a synthetic benchmark to a portable trace file
+//    (text v1 or compact binary v2).
 // 2. Replay the file through the full CMP simulator next to the original
 //    generator and show that the results agree exactly.
 //
-// The same FileTraceSource path is how externally captured traces (PIN,
-// ChampSim conversions, other simulators) drive this library; the format is
-// documented in src/sim/trace_file.hpp.
+// The same streaming FileTraceSource path is how externally captured traces
+// (PIN, ChampSim via plrupart-trace-convert, other simulators) drive this
+// library with O(buffer) memory; the formats are documented in
+// src/sim/trace_codec.hpp.
 //
 //   $ trace_record_replay [--benchmark twolf] [--ops 200000] [--out /tmp/x.trace]
+//                         [--format v2]
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "sim/cmp_simulator.hpp"
+#include "sim/trace_convert.hpp"
 #include "sim/trace_file.hpp"
 #include "workloads/catalog.hpp"
 #include "workloads/generators.hpp"
@@ -44,15 +48,17 @@ int main(int argc, char** argv) {
   const auto name = cli.get_string("--benchmark", "twolf");
   const auto ops = static_cast<std::size_t>(cli.get_int("--ops", 200'000));
   const auto out = cli.get_string("--out", "/tmp/plrupart_demo.trace");
+  const auto format = sim::trace_format_from_name(cli.get_string("--format", "v2"));
 
   const auto& profile = workloads::benchmark(name);
 
   // Record.
   auto recorder = workloads::make_trace(profile, 0, 123);
   const auto recorded = sim::record_trace(*recorder, ops);
-  sim::write_trace_file(out, recorded);
-  std::printf("recorded %zu ops of '%s' to %s\n", recorded.size(), name.c_str(),
-              out.c_str());
+  sim::write_trace_file(out, recorded, format);
+  std::printf("recorded %zu ops of '%s' to %s (%s format)\n", recorded.size(),
+              name.c_str(), out.c_str(),
+              std::string(sim::trace_format_name(format)).c_str());
 
   // Replay both through the simulator. The instruction quota is sized so the
   // run stays inside the recorded window (a FileTraceSource wraps at the end

@@ -1,0 +1,16 @@
+// Tiny path helpers shared across subsystems.
+#pragma once
+
+#include <string>
+
+namespace plrupart {
+
+/// Final component of a '/'-separated path ("dir/a.trace" -> "a.trace").
+/// Both FileTraceSource::name() and trace-workload display names derive from
+/// this, so the CSV benchmark column and the source name always agree.
+[[nodiscard]] inline std::string path_basename(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace plrupart

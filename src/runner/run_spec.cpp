@@ -6,8 +6,10 @@
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "core/partitioned_cache.hpp"
+#include "sim/trace_file.hpp"
 #include "workloads/catalog.hpp"
 #include "workloads/generators.hpp"
+#include "workloads/trace_workload.hpp"
 
 namespace plrupart::runner {
 
@@ -26,11 +28,18 @@ sim::SimResult execute(const RunSpec& spec) {
   cfg.instr_limit = spec.instr;
   cfg.warmup_instr = spec.warmup;
 
+  // Trace-backed workloads stream their recorded file per core (the seed
+  // still feeds the L2's RNG); synthetic ones generate seeded streams.
   std::vector<std::unique_ptr<sim::TraceSource>> traces;
   for (std::uint32_t core = 0; core < spec.workload.threads(); ++core) {
-    const auto& profile = workloads::benchmark(spec.workload.benchmarks[core]);
-    cfg.cores.push_back(profile.core);
-    traces.push_back(workloads::make_trace(profile, core, spec.seed));
+    if (spec.workload.trace_backed()) {
+      cfg.cores.push_back(workloads::trace_core_params());
+      traces.push_back(std::make_unique<sim::FileTraceSource>(spec.workload.traces[core]));
+    } else {
+      const auto& profile = workloads::benchmark(spec.workload.benchmarks[core]);
+      cfg.cores.push_back(profile.core);
+      traces.push_back(workloads::make_trace(profile, core, spec.seed));
+    }
   }
   sim::CmpSimulator sim(std::move(cfg), std::move(traces));
   return sim.run();
@@ -84,6 +93,16 @@ void RunMatrix::validate() const {
   PLRUPART_ASSERT_MSG(!workloads.empty(), "run matrix has no workloads");
   PLRUPART_ASSERT_MSG(!l2_kb.empty(), "run matrix has no L2 sizes");
   l1d.validate();
+  // Fail fast on unreadable/malformed trace files — before any sweep work,
+  // per workload rather than per (workload, config, size) cell.
+  for (const auto& w : workloads) {
+    if (!w.trace_backed()) continue;
+    PLRUPART_ASSERT_MSG(w.traces.size() == w.benchmarks.size(),
+                        "trace workload " + w.id + " has " +
+                            std::to_string(w.traces.size()) + " trace files for " +
+                            std::to_string(w.benchmarks.size()) + " cores");
+    for (const auto& path : w.traces) (void)sim::probe_trace_file(path);
+  }
   for (const auto kb : l2_kb) {
     const cache::Geometry g{
         .size_bytes = kb * 1024, .associativity = assoc, .line_bytes = line};

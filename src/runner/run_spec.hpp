@@ -48,7 +48,9 @@ struct RunSpec {
 /// The declarative sweep: axes × shared parameters.
 struct RunMatrix {
   std::vector<std::string> configs;               ///< CpaConfig acronyms
-  std::vector<workloads::Workload> workloads;     ///< Table II ids or ad-hoc mixes
+  std::vector<workloads::Workload> workloads;     ///< Table II ids, ad-hoc mixes, or
+                                                  ///< trace-backed workloads
+                                                  ///< (workload_from_traces)
   std::vector<std::uint64_t> l2_kb{1024};         ///< L2 sizes to sweep
   std::uint32_t assoc = 16;
   std::uint32_t line = 128;

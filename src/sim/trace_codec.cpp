@@ -1,0 +1,59 @@
+#include "sim/trace_codec.hpp"
+
+#include <utility>
+
+namespace plrupart::sim {
+
+ByteReader::ByteReader(std::string path, std::size_t buffer_bytes)
+    : path_(std::move(path)),
+      in_(path_, std::ios::binary),
+      buf_(buffer_bytes > 0 ? buffer_bytes : 1) {
+  if (!in_.good()) throw TraceError("cannot open trace file '" + path_ + "'");
+}
+
+bool ByteReader::fill() {
+  base_ += static_cast<std::uint64_t>(len_);
+  pos_ = 0;
+  len_ = 0;
+  if (!in_.good()) return false;  // a previous read already hit EOF
+  in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  if (in_.bad())
+    throw TraceError("I/O error reading trace file '" + path_ + "' near byte " +
+                     std::to_string(base_));
+  len_ = static_cast<std::size_t>(in_.gcount());
+  return len_ > 0;
+}
+
+void ByteReader::seek(std::uint64_t file_offset) {
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(file_offset));
+  if (in_.fail())
+    throw TraceError("cannot seek to byte " + std::to_string(file_offset) +
+                     " in trace file '" + path_ + "'");
+  base_ = file_offset;
+  pos_ = 0;
+  len_ = 0;
+}
+
+std::uint64_t read_varint(ByteReader& in) {
+  std::uint64_t result = 0;
+  for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+    const int c = in.get();
+    if (c == ByteReader::kEof)
+      throw TraceError("trace file '" + in.path() + "': truncated record at byte " +
+                       std::to_string(in.offset()) + " (EOF inside a varint)");
+    const auto byte = static_cast<std::uint64_t>(c & 0x7f);
+    // The 10th byte may only carry bit 63: anything larger (or a further
+    // continuation bit, checked below) cannot fit a 64-bit value.
+    if (i == kMaxVarintBytes - 1 && byte > 1)
+      throw TraceError("trace file '" + in.path() + "': varint overflow at byte " +
+                       std::to_string(in.offset()) + " (value exceeds 64 bits)");
+    result |= byte << (7 * i);
+    if ((c & 0x80) == 0) return result;
+  }
+  throw TraceError("trace file '" + in.path() + "': varint overflow at byte " +
+                   std::to_string(in.offset()) + " (more than " +
+                   std::to_string(kMaxVarintBytes) + " bytes)");
+}
+
+}  // namespace plrupart::sim

@@ -9,6 +9,7 @@
 //   plrupart --list-configs              enumerate the paper's configuration acronyms
 //   plrupart --workload 2T_04 [...]      run one or more Table II workloads
 //   plrupart --benchmarks twolf,art [..] run an ad-hoc benchmark mix
+//   plrupart --trace a.trace,b.trace     run captured trace files (one per core)
 //   plrupart --merge-csv a.csv,b.csv     merge + validate shard outputs
 //
 // Matrix axes (cartesian product, canonical order = workload > config > size):
@@ -49,6 +50,7 @@
 #include "runner/run_spec.hpp"
 #include "runner/sweep_executor.hpp"
 #include "workloads/catalog.hpp"
+#include "workloads/trace_workload.hpp"
 #include "workloads/workload_table.hpp"
 
 using namespace plrupart;
@@ -81,6 +83,9 @@ void print_usage() {
       "  plrupart --list-configs               list L2 configuration acronyms\n"
       "  plrupart --workload ID[,ID...]        run Table II workloads (or 'all')\n"
       "  plrupart --benchmarks NAME[,NAME...]  run an ad-hoc benchmark mix\n"
+      "  plrupart --trace FILE[,FILE...]       run captured traces, one file per core\n"
+      "                                        (v1/v2 auto-detected; see\n"
+      "                                        plrupart-trace-convert for ChampSim/PIN)\n"
       "  plrupart --merge-csv A.csv,B.csv,...  merge + validate shard CSVs\n"
       "\n"
       "matrix axes: --configs ACRO[,ACRO...] [M-0.75N]   --l2-kb-sweep KB[,KB...] [1024]\n"
@@ -208,19 +213,31 @@ int merge(const Cli& cli) {
 
 int run(const Cli& cli) {
   if (cli.has("--merge-csv")) {
-    PLRUPART_ASSERT_MSG(!cli.has("--workload") && !cli.has("--benchmarks"),
+    PLRUPART_ASSERT_MSG(!cli.has("--workload") && !cli.has("--benchmarks") &&
+                            !cli.has("--trace"),
                         "--merge-csv cannot be combined with a simulation run");
     return merge(cli);
   }
 
   runner::RunMatrix matrix = parse_matrix(cli);
 
-  // Resolve the workload axis: named Table II workloads or one ad-hoc mix.
-  if (cli.has("--workload") && cli.has("--benchmarks")) {
-    std::fprintf(stderr, "plrupart: --workload and --benchmarks are mutually exclusive\n");
+  // Resolve the workload axis: named Table II workloads, one ad-hoc mix, or
+  // one trace-backed workload (captured trace files, one per core).
+  const int sources = (cli.has("--workload") ? 1 : 0) + (cli.has("--benchmarks") ? 1 : 0) +
+                      (cli.has("--trace") ? 1 : 0);
+  if (sources > 1) {
+    std::fprintf(stderr,
+                 "plrupart: --workload, --benchmarks, and --trace are mutually exclusive\n");
     return 1;
   }
-  if (auto ids = cli.value("--workload")) {
+  if (cli.has("--trace")) {
+    const auto paths = split_list(cli.get_string("--trace", ""));
+    if (paths.empty()) {
+      std::fprintf(stderr, "plrupart: --trace needs at least one trace file\n");
+      return 1;
+    }
+    matrix.workloads.push_back(workloads::workload_from_traces(paths));
+  } else if (auto ids = cli.value("--workload")) {
     if (*ids == "all") {
       matrix.workloads = workloads::all_workloads();
     } else {
@@ -293,7 +310,7 @@ bool check_args(int argc, char** argv) {
       "--workload", "--benchmarks", "--config",   "--configs",  "--instr",
       "--warmup",   "--l2-kb",      "--l2-kb-sweep", "--assoc", "--line",
       "--interval", "--sampling",   "--seed",     "--csv",      "--threads",
-      "--shard",    "--merge-csv"};
+      "--shard",    "--merge-csv",  "--trace"};
   static constexpr std::string_view kBoolFlags[] = {"--help", "-h", "--list-workloads",
                                                     "--list-configs", "--progress"};
   for (int i = 1; i < argc; ++i) {

@@ -1,0 +1,35 @@
+#include "workloads/trace_workload.hpp"
+
+#include "common/assert.hpp"
+#include "common/path.hpp"
+
+namespace plrupart::workloads {
+
+sim::CoreParams trace_core_params() noexcept { return sim::CoreParams{}; }
+
+Workload workload_from_traces(const std::vector<std::string>& paths) {
+  PLRUPART_ASSERT_MSG(!paths.empty(), "a trace workload needs at least one trace file");
+  Workload w;
+  w.id = "trace:";
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    auto base = path_basename(paths[i]);
+    PLRUPART_ASSERT_MSG(!base.empty(), "bad trace path '" + paths[i] + "'");
+    // Same basename from a DIFFERENT path is a different capture (per-bench
+    // directories with a fixed file name); suffix the core index so the CSV
+    // can tell the cores apart. The same path repeated (co-running copies of
+    // one capture) legitimately shares its name.
+    for (std::size_t j = 0; j < paths.size(); ++j) {
+      if (j != i && paths[j] != paths[i] && path_basename(paths[j]) == base) {
+        base += '@' + std::to_string(i);
+        break;
+      }
+    }
+    if (i > 0) w.id += '+';
+    w.id += base;
+    w.benchmarks.push_back(base);
+    w.traces.push_back(paths[i]);
+  }
+  return w;
+}
+
+}  // namespace plrupart::workloads

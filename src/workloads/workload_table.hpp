@@ -9,7 +9,16 @@ namespace plrupart::workloads {
 
 struct Workload {
   std::string id;                       ///< e.g. "2T_07"
-  std::vector<std::string> benchmarks;  ///< catalog names, one per core
+  std::vector<std::string> benchmarks;  ///< catalog names, one per core (for
+                                        ///< trace-backed workloads: display
+                                        ///< names, the trace file basenames)
+  /// Trace-backed workloads: one captured-trace path per core, parallel to
+  /// `benchmarks`. Empty = synthetic (catalog generators). Built via
+  /// workloads::workload_from_traces(). (The default member initializer keeps
+  /// the Table II aggregate initializers warning-clean.)
+  std::vector<std::string> traces = {};
+
+  [[nodiscard]] bool trace_backed() const noexcept { return !traces.empty(); }
 
   [[nodiscard]] std::uint32_t threads() const {
     return static_cast<std::uint32_t>(benchmarks.size());

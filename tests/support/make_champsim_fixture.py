@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Regenerate the ChampSim converter fixtures.
+
+Writes champsim_small.champsim (uncompressed ChampSim binary trace: 64-byte
+little-endian input_instr records) and champsim_small.golden.v1.trace — the
+plrupart-trace v1 file the converter must produce for it, derived here
+INDEPENDENTLY of the C++ implementation so the golden test cross-checks the
+conversion rules (loads before stores within an instruction, non-memory
+instructions accumulating into the next op's gap, zero addresses skipped).
+
+Both outputs are committed; rerun this script only when the fixture itself is
+meant to change, and review the resulting diff.
+"""
+import struct
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def input_instr(ip, is_branch=0, taken=0, dest_mem=(), src_mem=()):
+    """Pack one 64-byte ChampSim input_instr record (little-endian)."""
+    dest_mem = list(dest_mem) + [0] * (2 - len(dest_mem))
+    src_mem = list(src_mem) + [0] * (4 - len(src_mem))
+    return struct.pack(
+        "<QBB2B4B2Q4Q",
+        ip, is_branch, taken,
+        1, 0,            # destination_registers (don't-cares for conversion)
+        2, 3, 0, 0,      # source_registers
+        *dest_mem, *src_mem,
+    )
+
+
+# A tiny but representative instruction stream: plain ALU instructions (gap
+# accumulation), loads, stores, a load+store instruction, a multi-load
+# instruction, a branch, and addresses that revisit lines and span >32 bits.
+RECORDS = [
+    input_instr(0x400000),                                    # alu
+    input_instr(0x400004),                                    # alu
+    input_instr(0x400008, src_mem=[0x7F00_0000]),             # load, gap 2
+    input_instr(0x40000C, dest_mem=[0x7F00_0040]),            # store, gap 0
+    input_instr(0x400010),                                    # alu
+    input_instr(0x400014, is_branch=1, taken=1),              # branch = alu here
+    input_instr(0x400018, src_mem=[0x7F00_0000, 0x7F00_0080]),  # 2 loads, gap 2
+    input_instr(0x40001C, src_mem=[0x12_3456_7890], dest_mem=[0x12_3456_78D0]),
+    input_instr(0x400020),                                    # alu
+    input_instr(0x400024, dest_mem=[0x7F00_0040, 0x7F00_00C0]),  # 2 stores, gap 1
+    input_instr(0x400028, src_mem=[0x7F00_0100]),             # load, gap 0
+    input_instr(0x40002C),                                    # alu
+    input_instr(0x400030),                                    # alu
+    # Four lines 16 KiB apart land in one set of a 32 KiB/2-way/128 B L1, so
+    # looping replay keeps evicting into the L2 — the converted fixture must
+    # produce L2 traffic for the pipeline gate to exercise the cache stack.
+    input_instr(0x400034, src_mem=[0x7F01_0000]),             # load, gap 2
+    input_instr(0x400038, src_mem=[0x7F01_4000]),
+    input_instr(0x40003C, dest_mem=[0x7F01_8000]),
+    input_instr(0x400040, src_mem=[0x7F01_C000]),
+    input_instr(0x400044, src_mem=[0x7F01_0000]),             # revisit: evicted by now
+    input_instr(0x400048, dest_mem=[0x7F01_4000]),
+]
+
+
+def convert(records):
+    """Reference conversion: yield (gap, addr, 'R'|'W') per the documented rules."""
+    gap = 0
+    for rec in records:
+        fields = struct.unpack("<QBB2B4B2Q4Q", rec)
+        dest_mem, src_mem = fields[9:11], fields[11:15]
+        emitted = False
+        for addr in src_mem:
+            if addr:
+                yield gap, addr, "R"
+                gap, emitted = 0, True
+        for addr in dest_mem:
+            if addr:
+                yield gap, addr, "W"
+                gap, emitted = 0, True
+        if not emitted:
+            gap += 1
+
+
+def main():
+    (HERE / "champsim_small.champsim").write_bytes(b"".join(RECORDS))
+    lines = ["# plrupart-trace v1"]
+    lines += [f"{gap} {addr:x} {rw}" for gap, addr, rw in convert(RECORDS)]
+    (HERE / "champsim_small.golden.v1.trace").write_text("\n".join(lines) + "\n")
+    print(f"wrote {len(RECORDS)} records, {len(lines) - 1} ops")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,16 +1,24 @@
 // The sweep engine's contracts: canonical expansion order, position-derived
 // per-job seeds, sharding invariants (disjoint, exhaustive, split-independent),
-// thread-count-independent CSV output, and shard-merge validation.
+// thread-count-independent CSV output, shard-merge validation, and the same
+// determinism guarantees for trace-backed (file-driven) workloads.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "runner/run_spec.hpp"
 #include "runner/sweep_executor.hpp"
+#include "sim/trace_file.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/trace_workload.hpp"
 #include "workloads/workload_table.hpp"
 
 namespace plrupart {
@@ -177,6 +185,112 @@ TEST(MergeCsv, RejectsDuplicatedPerCoreBlockWithinOneShard) {
   std::ostringstream merged;
   EXPECT_THROW(runner::merge_csv_streams({&doubled}, {"doubled"}, merged),
                InvariantError);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-backed workloads: captured files must compose with every sweep-engine
+// contract exactly like catalog workloads.
+// ---------------------------------------------------------------------------
+
+class TraceBackedMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("plrupart_runner_trace_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    // Two recorded benchmarks, one per core, deliberately in different
+    // formats so the sweep exercises both decoders.
+    record("gzip", 0, trace_a(), sim::TraceFormat::kTextV1);
+    record("twolf", 1, trace_b(), sim::TraceFormat::kBinaryV2);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string trace_a() const { return (dir_ / "a.trace").string(); }
+  [[nodiscard]] std::string trace_b() const { return (dir_ / "b.trace").string(); }
+
+  void record(const char* bench, std::uint32_t core, const std::string& path,
+              sim::TraceFormat format) const {
+    const auto trace = workloads::make_trace(workloads::benchmark(bench), core, 5);
+    sim::write_trace_file(path, sim::record_trace(*trace, 30'000), format);
+  }
+
+  /// A configs x one-trace-workload x sizes matrix, small enough for tests.
+  [[nodiscard]] runner::RunMatrix trace_matrix() const {
+    runner::RunMatrix m;
+    m.configs = {"NOPART-L", "M-0.75N"};
+    m.workloads = {workloads::workload_from_traces({trace_a(), trace_b()})};
+    m.l2_kb = {128, 256};
+    m.l1d = cache::Geometry{.size_bytes = 4096, .associativity = 2, .line_bytes = 128};
+    m.instr = 20'000;
+    m.warmup = 5'000;
+    m.interval_cycles = 40'000;
+    m.sampling_ratio = 8;
+    m.seed = 99;
+    return m;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceBackedMatrixTest, CsvIsByteIdenticalAcrossThreadCountsAndShardMerges) {
+  const auto m = trace_matrix();
+  const auto serial = csv_at_threads(m, 1);
+  EXPECT_EQ(serial, csv_at_threads(m, 4))
+      << "trace-backed sweep must not depend on the worker count";
+  EXPECT_NE(serial.find("trace:a.trace+b.trace"), std::string::npos)
+      << "workload id should name the trace files";
+  EXPECT_NE(serial.find("a.trace"), std::string::npos)
+      << "per-core benchmark column should carry the trace basename";
+
+  std::vector<std::string> shard_csvs;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto results = runner::SweepExecutor({.threads = 2}).run(m.shard(i, 2));
+    std::ostringstream os;
+    runner::write_csv(os, results);
+    shard_csvs.push_back(os.str());
+  }
+  std::istringstream s0(shard_csvs[0]), s1(shard_csvs[1]);
+  std::ostringstream merged;
+  runner::merge_csv_streams({&s1, &s0}, {"s1", "s0"}, merged);
+  EXPECT_EQ(merged.str(), serial)
+      << "sharded trace-backed sweep must merge back to the unsharded CSV";
+}
+
+TEST_F(TraceBackedMatrixTest, TraceWorkloadsComposeWithCatalogWorkloadsInOneMatrix) {
+  auto m = trace_matrix();
+  m.workloads.push_back(workloads::workloads_2t()[0]);  // mixed axis
+  const auto csv = csv_at_threads(m, 2);
+  EXPECT_NE(csv.find("trace:a.trace+b.trace"), std::string::npos);
+  EXPECT_NE(csv.find("2T_01"), std::string::npos);
+  EXPECT_EQ(csv, csv_at_threads(m, 1));
+}
+
+TEST(TraceWorkload, DisambiguatesCollidingBasenamesAcrossDirectories) {
+  // Different captures sharing a file name must stay distinguishable in the
+  // CSV; co-running the same path keeps its plain name.
+  const auto collide = workloads::workload_from_traces({"a/x.trace", "b/x.trace"});
+  EXPECT_EQ(collide.benchmarks, (std::vector<std::string>{"x.trace@0", "x.trace@1"}));
+  EXPECT_EQ(collide.id, "trace:x.trace@0+x.trace@1");
+  const auto copies = workloads::workload_from_traces({"a/x.trace", "a/x.trace"});
+  EXPECT_EQ(copies.benchmarks, (std::vector<std::string>{"x.trace", "x.trace"}));
+}
+
+TEST_F(TraceBackedMatrixTest, ValidateFailsFastOnBadTraceFiles) {
+  auto m = trace_matrix();
+  m.workloads = {workloads::workload_from_traces({(dir_ / "missing.trace").string()})};
+  EXPECT_THROW(m.validate(), InvariantError);
+
+  // Present but malformed: validate() must catch it before any job runs.
+  const auto bad = (dir_ / "bad.trace").string();
+  std::ofstream(bad) << "# plrupart-trace v1\nnot a record\n";
+  m.workloads = {workloads::workload_from_traces({bad})};
+  EXPECT_THROW(m.validate(), InvariantError);
+
+  // Core-count mismatch between traces and benchmarks is rejected.
+  auto w = workloads::workload_from_traces({trace_a()});
+  w.benchmarks.push_back("phantom");
+  m.workloads = {w};
+  EXPECT_THROW(m.validate(), InvariantError);
 }
 
 TEST(MergeCsv, RejectsHeaderMismatchAndMissingShards) {

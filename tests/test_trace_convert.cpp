@@ -1,0 +1,191 @@
+// Trace ingestion: the ChampSim fixture must convert byte-for-byte to its
+// committed golden file (the golden is derived independently by
+// tests/support/make_champsim_fixture.py), PIN text must parse, and v1<->v2
+// re-encoding must be lossless.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/trace_convert.hpp"
+#include "sim/trace_file.hpp"
+
+namespace plrupart::sim {
+namespace {
+
+[[nodiscard]] std::string support_path(const char* name) {
+  return std::string(PLRUPART_TEST_SUPPORT_DIR) + "/" + name;
+}
+
+[[nodiscard]] std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class TraceConvertTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("plrupart_convert_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  [[nodiscard]] std::string raw_file(const char* name, const std::string& bytes) const {
+    const auto p = path(name);
+    std::ofstream out(p, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return p;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceConvertTest, ChampSimFixtureMatchesCommittedGolden) {
+  const auto out = path("champsim.v1.trace");
+  const auto stats = convert_trace(support_path("champsim_small.champsim"), out,
+                                   ExternalTraceKind::kChampSim, TraceFormat::kTextV1);
+  EXPECT_EQ(stats.records_in, 19u) << "fixture holds 19 input_instr records";
+  EXPECT_EQ(stats.ops_out, 15u);
+  EXPECT_EQ(slurp(out), slurp(support_path("champsim_small.golden.v1.trace")))
+      << "conversion diverged from the independently derived golden file";
+}
+
+TEST_F(TraceConvertTest, ChampSimThroughV2IsLossless) {
+  // champsim -> v2 -> v1 must land on the exact same golden bytes: the binary
+  // format adds nothing and loses nothing.
+  const auto v2 = path("champsim.v2.trace");
+  (void)convert_trace(support_path("champsim_small.champsim"), v2,
+                      ExternalTraceKind::kChampSim, TraceFormat::kBinaryV2);
+  EXPECT_EQ(probe_trace_file(v2), TraceFormat::kBinaryV2);
+  const auto v1 = path("champsim.v2.v1.trace");
+  const auto stats =
+      convert_trace(v2, v1, ExternalTraceKind::kAuto, TraceFormat::kTextV1);
+  EXPECT_EQ(stats.kind, ExternalTraceKind::kNative) << "auto must detect native v2";
+  EXPECT_EQ(slurp(v1), slurp(support_path("champsim_small.golden.v1.trace")));
+}
+
+TEST_F(TraceConvertTest, MaxOpsCutsAPrefix) {
+  const auto out = path("champsim.head.trace");
+  const auto stats = convert_trace(support_path("champsim_small.champsim"), out,
+                                   ExternalTraceKind::kChampSim, TraceFormat::kTextV1,
+                                   /*max_ops=*/4);
+  EXPECT_EQ(stats.ops_out, 4u);
+  // The output must be exactly the first 4 records of the golden.
+  std::istringstream golden(slurp(support_path("champsim_small.golden.v1.trace")));
+  std::string expected, line;
+  for (int i = 0; i < 5 && std::getline(golden, line); ++i) expected += line + "\n";
+  EXPECT_EQ(slurp(out), expected);
+}
+
+TEST_F(TraceConvertTest, RejectsTruncatedChampSimRecord) {
+  const auto full = slurp(support_path("champsim_small.champsim"));
+  const auto cut = raw_file("cut.champsim", full.substr(0, full.size() - 10));
+  EXPECT_THROW(convert_trace(cut, path("out.trace"), ExternalTraceKind::kChampSim,
+                             TraceFormat::kBinaryV2),
+               TraceError);
+  // A failed conversion must not leave a valid-looking partial trace behind:
+  // v2 has no trailer, so a truncated output would be undetectable downstream.
+  EXPECT_FALSE(std::filesystem::exists(path("out.trace")));
+}
+
+TEST_F(TraceConvertTest, RejectsChampSimWithNoMemoryOps) {
+  // Two pure-ALU records: 64 zero bytes each (ip 0 is irrelevant).
+  const auto p = raw_file("alu.champsim", std::string(128, '\0'));
+  EXPECT_THROW(convert_trace(p, path("out.trace"), ExternalTraceKind::kChampSim,
+                             TraceFormat::kBinaryV2),
+               TraceError);
+}
+
+TEST_F(TraceConvertTest, ConvertsPinStyleText) {
+  const auto pin = raw_file("pinatrace.out",
+                            "0x7f06ea8910a3: R 0x7ffd6dcd6e08\n"
+                            "0x7f06ea8910b0: W 0x7ffd6dcd6e10\r\n"  // CRLF tolerated
+                            "\n"
+                            "7f06ea8910c2: R 1000\n"  // 0x prefix optional
+                            "#eof\n");
+  const auto out = path("pin.v2.trace");
+  const auto stats =
+      convert_trace(pin, out, ExternalTraceKind::kPin, TraceFormat::kBinaryV2);
+  EXPECT_EQ(stats.records_in, 3u);
+  EXPECT_EQ(stats.ops_out, 3u);
+  TraceReader reader(out);
+  const auto a = reader.next(), b = reader.next(), c = reader.next();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_FALSE(reader.next());
+  EXPECT_EQ(a->addr, 0x7ffd6dcd6e08u);
+  EXPECT_FALSE(a->write);
+  EXPECT_EQ(a->gap_instrs, 0u) << "PIN traces carry no instruction counts";
+  EXPECT_EQ(b->addr, 0x7ffd6dcd6e10u);
+  EXPECT_TRUE(b->write);
+  EXPECT_EQ(c->addr, 0x1000u);
+}
+
+TEST_F(TraceConvertTest, RejectsMalformedPinLines) {
+  for (const char* body : {"not a trace\n", "0x10: X 0x20\n", "0x10: R 0xzz\n",
+                           "0x10 R\n"}) {
+    const auto p = raw_file("bad.pin", body);
+    EXPECT_THROW(convert_trace(p, path("out.trace"), ExternalTraceKind::kPin,
+                               TraceFormat::kTextV1),
+                 TraceError)
+        << body;
+  }
+}
+
+TEST_F(TraceConvertTest, RefusesInPlaceConversionWithoutTouchingTheInput) {
+  const auto p = path("keep.v1.trace");
+  write_trace_file(p, {{.addr = 0x40, .write = false, .gap_instrs = 1}});
+  const auto before = slurp(p);
+  EXPECT_THROW(convert_trace(p, p, ExternalTraceKind::kNative, TraceFormat::kBinaryV2),
+               TraceError);
+  // Relative alias of the same file must be caught too.
+  const auto alias = (dir_ / "." / "keep.v1.trace").string();
+  EXPECT_THROW(
+      convert_trace(p, alias, ExternalTraceKind::kNative, TraceFormat::kBinaryV2),
+      TraceError);
+  EXPECT_EQ(slurp(p), before) << "the input must survive a refused in-place convert";
+}
+
+TEST_F(TraceConvertTest, AutoDetectRefusesHeaderlessInput) {
+  const auto p = raw_file("mystery.bin", "no header here\n");
+  EXPECT_THROW(convert_trace(p, path("out.trace"), ExternalTraceKind::kAuto,
+                             TraceFormat::kBinaryV2),
+               TraceError);
+}
+
+TEST_F(TraceConvertTest, V1ToV2ToV1IsByteLossless) {
+  Rng rng(99);
+  std::vector<MemOp> ops;
+  for (std::size_t i = 0; i < 2000; ++i)
+    ops.push_back(MemOp{.addr = rng.next_u64() & 0xffff'ffff'ffffu,
+                        .write = rng.next_bool(0.4),
+                        .gap_instrs = static_cast<std::uint32_t>(rng.next_below(500))});
+  const auto v1a = path("a.v1.trace");
+  write_trace_file(v1a, ops, TraceFormat::kTextV1);
+  const auto v2 = path("a.v2.trace");
+  (void)convert_trace(v1a, v2, ExternalTraceKind::kNative, TraceFormat::kBinaryV2);
+  const auto v1b = path("b.v1.trace");
+  (void)convert_trace(v2, v1b, ExternalTraceKind::kNative, TraceFormat::kTextV1);
+  EXPECT_EQ(slurp(v1a), slurp(v1b)) << "v1 -> v2 -> v1 must be byte-identical";
+  EXPECT_LT(std::filesystem::file_size(v2), std::filesystem::file_size(v1a));
+}
+
+TEST_F(TraceConvertTest, NameParsersRejectUnknownValues) {
+  EXPECT_EQ(trace_kind_from_name("champsim"), ExternalTraceKind::kChampSim);
+  EXPECT_EQ(trace_format_from_name("v2"), TraceFormat::kBinaryV2);
+  EXPECT_THROW((void)trace_kind_from_name("gem5"), TraceError);
+  EXPECT_THROW((void)trace_format_from_name("v3"), TraceError);
+}
+
+}  // namespace
+}  // namespace plrupart::sim
