@@ -8,7 +8,7 @@
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "common/stats.hpp"
-#include "power/complexity.hpp"
+#include "plrupart/power/complexity.hpp"
 
 using namespace plrupart;
 using namespace plrupart::bench;

@@ -13,7 +13,7 @@
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "common/stats.hpp"
-#include "power/power_model.hpp"
+#include "plrupart/power/power_model.hpp"
 
 using namespace plrupart;
 using namespace plrupart::bench;

@@ -8,10 +8,10 @@
 
 #include <vector>
 
-#include "cache/cache.hpp"
-#include "cache/replacement.hpp"
-#include "common/rng.hpp"
-#include "core/atd.hpp"
+#include "plrupart/cache/cache.hpp"
+#include "plrupart/cache/replacement.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/core/atd.hpp"
 
 using namespace plrupart;
 using cache::Geometry;

@@ -2,10 +2,10 @@
 // datapaths — ATD probes, SDH updates, miss-curve builds, MinMisses solvers.
 #include <benchmark/benchmark.h>
 
-#include "common/rng.hpp"
-#include "core/min_misses.hpp"
-#include "core/profiler.hpp"
-#include "core/tree_rounding.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/core/min_misses.hpp"
+#include "plrupart/core/profiler.hpp"
+#include "plrupart/core/tree_rounding.hpp"
 
 using namespace plrupart;
 using namespace plrupart::core;

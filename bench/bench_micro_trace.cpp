@@ -11,8 +11,8 @@
 #include <unistd.h>
 #include <vector>
 
-#include "common/rng.hpp"
-#include "sim/trace_file.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/sim/trace_file.hpp"
 
 namespace {
 

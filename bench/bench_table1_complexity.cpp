@@ -7,7 +7,7 @@
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
-#include "power/complexity.hpp"
+#include "plrupart/power/complexity.hpp"
 
 using namespace plrupart;
 using power::ComplexityParams;

@@ -21,13 +21,13 @@
 
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
-#include "metrics/metrics.hpp"
-#include "runner/run_spec.hpp"
-#include "runner/sweep_executor.hpp"
-#include "sim/cmp_simulator.hpp"
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
-#include "workloads/workload_table.hpp"
+#include "plrupart/metrics/metrics.hpp"
+#include "plrupart/runner/run_spec.hpp"
+#include "plrupart/runner/sweep_executor.hpp"
+#include "plrupart/sim/cmp_simulator.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
+#include "plrupart/workloads/workload_table.hpp"
 
 namespace plrupart::bench {
 

@@ -1,0 +1,19 @@
+# Single source of truth for the plrupart semantic version.
+#
+# Everything else derives from these four values:
+#   - project(plrupart VERSION ...) in the top-level CMakeLists
+#   - the generated include/plrupart/version.hpp (cmake/version.hpp.in)
+#   - the `--version` output of the installed tools
+#   - plrupartConfigVersion.cmake and plrupart.pc in the install tree
+#
+# Version policy (pre-1.0): the MINOR number is the compatibility line.
+# Breaking changes to the public headers under include/plrupart/ bump MINOR;
+# additive or bugfix-only releases bump PATCH. plrupartConfigVersion.cmake is
+# generated with SameMinorVersion to match, and PLRUPART_SOVERSION tracks the
+# compatibility line for shared builds.
+set(PLRUPART_VERSION_MAJOR 0)
+set(PLRUPART_VERSION_MINOR 5)
+set(PLRUPART_VERSION_PATCH 0)
+set(PLRUPART_VERSION
+    "${PLRUPART_VERSION_MAJOR}.${PLRUPART_VERSION_MINOR}.${PLRUPART_VERSION_PATCH}")
+set(PLRUPART_SOVERSION "${PLRUPART_VERSION_MAJOR}.${PLRUPART_VERSION_MINOR}")

@@ -16,10 +16,10 @@
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
-#include "sim/cmp_simulator.hpp"
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
-#include "workloads/workload_table.hpp"
+#include "plrupart/sim/cmp_simulator.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
+#include "plrupart/workloads/workload_table.hpp"
 
 using namespace plrupart;
 

@@ -10,9 +10,9 @@
 
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
-#include "sim/cmp_simulator.hpp"
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
+#include "plrupart/sim/cmp_simulator.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
 
 using namespace plrupart;
 

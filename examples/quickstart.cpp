@@ -9,9 +9,9 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
-#include "sim/cmp_simulator.hpp"
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
+#include "plrupart/sim/cmp_simulator.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
 
 using namespace plrupart;
 

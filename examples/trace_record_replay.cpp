@@ -15,11 +15,11 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
-#include "sim/cmp_simulator.hpp"
-#include "sim/trace_convert.hpp"
-#include "sim/trace_file.hpp"
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
+#include "plrupart/sim/cmp_simulator.hpp"
+#include "plrupart/sim/trace_convert.hpp"
+#include "plrupart/sim/trace_file.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
 
 using namespace plrupart;
 

@@ -1,0 +1,80 @@
+// True LRU replacement: each line carries an exact stack position
+// (A * log2(A) bits per set in hardware; see power/complexity.hpp).
+//
+// The per-access methods are defined inline (and the class is final) so the
+// cache's statically-dispatched access path inlines them without LTO.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "plrupart/cache/replacement.hpp"
+
+namespace plrupart::cache {
+
+class PLRUPART_EXPORT TrueLru final : public ReplacementPolicy {
+ public:
+  explicit TrueLru(const Geometry& geo);
+
+  [[nodiscard]] ReplacementKind kind() const noexcept override {
+    return ReplacementKind::kLru;
+  }
+
+  void on_hit(std::uint64_t set, std::uint32_t way, WayMask /*allowed*/) override {
+    promote(set, way);
+  }
+  void on_fill(std::uint64_t set, std::uint32_t way, WayMask /*allowed*/) override {
+    promote(set, way);
+  }
+
+  [[nodiscard]] std::uint32_t choose_victim(std::uint64_t set, WayMask allowed) override {
+    PLRUPART_ASSERT((allowed & all_ways()) != 0);
+    std::uint32_t victim = 0;
+    std::uint8_t deepest = 0;
+    bool found = false;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (!mask_test(allowed, w)) continue;
+      if (!found || pos(set, w) > deepest) {
+        victim = w;
+        deepest = pos(set, w);
+        found = true;
+      }
+    }
+    return victim;
+  }
+
+  [[nodiscard]] StackEstimate estimate_position(std::uint64_t set,
+                                                std::uint32_t way) const override {
+    const auto p = static_cast<std::uint32_t>(pos(set, way)) + 1;  // 1-based
+    return StackEstimate{.lo = p, .hi = p, .point = p};
+  }
+
+  void reset() override;
+
+  /// Exact 0-based stack position (0 = MRU, A-1 = LRU) — test/profiler hook.
+  [[nodiscard]] std::uint32_t stack_position(std::uint64_t set, std::uint32_t way) const;
+
+ private:
+  /// Branchless promotion: every line above `way`'s old position ages by one.
+  void promote(std::uint64_t set, std::uint32_t way) {
+    std::uint8_t* p = pos_.data() + set * ways_;
+    const std::uint8_t old = p[way];
+    for (std::uint32_t w = 0; w < ways_; ++w)
+      p[w] = static_cast<std::uint8_t>(p[w] + (p[w] < old ? 1 : 0));
+    p[way] = 0;
+  }
+  [[nodiscard]] std::uint8_t& pos(std::uint64_t set, std::uint32_t way) {
+    return pos_[set * ways_ + way];
+  }
+  [[nodiscard]] std::uint8_t pos(std::uint64_t set, std::uint32_t way) const {
+    return pos_[set * ways_ + way];
+  }
+
+  // pos_[set*A + way] = 0-based recency (0 = MRU). Initialized so that way i
+  // starts at position i, matching hardware reset of the LRU bits.
+  std::vector<std::uint8_t> pos_;
+};
+
+}  // namespace plrupart::cache

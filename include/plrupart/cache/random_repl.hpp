@@ -1,0 +1,51 @@
+// Uniform-random replacement: the reference point the paper compares NRU's
+// pointer-driven behavior against ("guarantees a random-like replacement").
+//
+// The per-access methods are defined inline (and the class is final) so the
+// cache's statically-dispatched access path inlines them without LTO.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <cstdint>
+
+#include "plrupart/cache/replacement.hpp"
+#include "plrupart/common/rng.hpp"
+
+namespace plrupart::cache {
+
+class PLRUPART_EXPORT RandomRepl final : public ReplacementPolicy {
+ public:
+  RandomRepl(const Geometry& geo, std::uint64_t seed);
+
+  [[nodiscard]] ReplacementKind kind() const noexcept override {
+    return ReplacementKind::kRandom;
+  }
+
+  void on_hit(std::uint64_t, std::uint32_t, WayMask) override {}
+  void on_fill(std::uint64_t, std::uint32_t, WayMask) override {}
+
+  [[nodiscard]] std::uint32_t choose_victim(std::uint64_t /*set*/, WayMask allowed) override {
+    allowed &= all_ways();
+    PLRUPART_ASSERT(allowed != 0);
+    const std::uint32_t n = mask_count(allowed);
+    std::uint32_t k = static_cast<std::uint32_t>(rng_.next_below(n));
+    // Select the k-th set bit by clearing the k lowest ones.
+    for (; k > 0; --k) allowed &= allowed - 1;
+    return mask_first(allowed);
+  }
+
+  [[nodiscard]] StackEstimate estimate_position(std::uint64_t, std::uint32_t) const override {
+    // Random replacement keeps no recency state: the profiling logic can bound
+    // the position only by the full stack.
+    return StackEstimate{.lo = 1, .hi = ways_, .point = ways_};
+  }
+
+  void reset() override;
+
+ private:
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+}  // namespace plrupart::cache

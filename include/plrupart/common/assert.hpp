@@ -1,0 +1,44 @@
+// Library invariant checking.
+//
+// PLRUPART_ASSERT is enabled in all build types: the checks guard state-machine
+// invariants (victim inside allowed mask, partition sums, histogram bounds) whose
+// cost is negligible next to the simulation work they protect, and a violated
+// invariant in a simulator silently corrupts every downstream number.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace plrupart {
+
+/// Thrown when a library invariant is violated. Catching it is only useful in
+/// tests; production code should treat it as a bug.
+class PLRUPART_EXPORT InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace plrupart
+
+#define PLRUPART_ASSERT(expr)                                                   \
+  do {                                                                          \
+    if (!(expr)) ::plrupart::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define PLRUPART_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                            \
+    if (!(expr)) ::plrupart::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

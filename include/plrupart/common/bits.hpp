@@ -1,0 +1,110 @@
+// Bit-manipulation helpers shared by the replacement-policy and profiling logic.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+#include "plrupart/common/assert.hpp"
+
+namespace plrupart {
+
+/// True iff x is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)); requires x > 0.
+[[nodiscard]] constexpr std::uint32_t ilog2(std::uint64_t x) {
+  PLRUPART_ASSERT(x > 0);
+  return static_cast<std::uint32_t>(63 - std::countl_zero(x));
+}
+
+/// Exact log2; requires x to be a power of two.
+[[nodiscard]] constexpr std::uint32_t ilog2_exact(std::uint64_t x) {
+  PLRUPART_ASSERT(is_pow2(x));
+  return ilog2(x);
+}
+
+/// Smallest power of two >= x (x > 0).
+[[nodiscard]] constexpr std::uint64_t ceil_pow2(std::uint64_t x) {
+  PLRUPART_ASSERT(x > 0);
+  return std::bit_ceil(x);
+}
+
+/// Largest power of two <= x (x > 0).
+[[nodiscard]] constexpr std::uint64_t floor_pow2(std::uint64_t x) {
+  PLRUPART_ASSERT(x > 0);
+  return std::bit_floor(x);
+}
+
+/// A set of cache ways encoded as a bit mask. Way i is in the set iff bit i is 1.
+/// 64 bits bounds the supported associativity at 64, far above the paper's 16.
+using WayMask = std::uint64_t;
+
+inline constexpr std::uint32_t kMaxAssociativity = 64;
+
+/// Mask with the low `ways` bits set (all ways of an A-way set).
+[[nodiscard]] constexpr WayMask full_way_mask(std::uint32_t ways) {
+  PLRUPART_ASSERT(ways >= 1 && ways <= kMaxAssociativity);
+  return ways == kMaxAssociativity ? ~WayMask{0} : ((WayMask{1} << ways) - 1);
+}
+
+/// Mask covering the contiguous way range [first, first + count).
+[[nodiscard]] constexpr WayMask way_range_mask(std::uint32_t first, std::uint32_t count) {
+  PLRUPART_ASSERT(first + count <= kMaxAssociativity);
+  return count == 0 ? WayMask{0} : full_way_mask(count) << first;
+}
+
+[[nodiscard]] constexpr bool mask_test(WayMask m, std::uint32_t way) noexcept {
+  return (m >> way) & 1U;
+}
+
+[[nodiscard]] constexpr std::uint32_t mask_count(WayMask m) noexcept {
+  return static_cast<std::uint32_t>(std::popcount(m));
+}
+
+/// Lowest set way; requires a non-empty mask.
+[[nodiscard]] constexpr std::uint32_t mask_first(WayMask m) {
+  PLRUPART_ASSERT(m != 0);
+  return static_cast<std::uint32_t>(std::countr_zero(m));
+}
+
+/// Bitmask of the ways in values[0..ways) equal to `needle`. The shared
+/// per-way equality scan of the lookup and victim paths (ATD tag compare,
+/// SRRIP distant-line scan): chunks of four fixed-offset compares keep the
+/// loop branch-light and give the compiler independent compare chains (and
+/// vectorizable code under -march flags) instead of a serial variable-shift
+/// reduction.
+template <class T>
+[[nodiscard]] inline WayMask tag_match_mask(const T* values, std::uint32_t ways,
+                                            T needle) noexcept {
+  static_assert(std::is_unsigned_v<T>);
+  WayMask match = 0;
+  std::uint32_t w = 0;
+  for (; w + 4 <= ways; w += 4) {
+    const WayMask m0 = static_cast<WayMask>(values[w + 0] == needle ? 1U : 0U);
+    const WayMask m1 = static_cast<WayMask>(values[w + 1] == needle ? 1U : 0U) << 1;
+    const WayMask m2 = static_cast<WayMask>(values[w + 2] == needle ? 1U : 0U) << 2;
+    const WayMask m3 = static_cast<WayMask>(values[w + 3] == needle ? 1U : 0U) << 3;
+    match |= (m0 | m1 | m2 | m3) << w;
+  }
+  for (; w < ways; ++w)
+    match |= static_cast<WayMask>(values[w] == needle ? 1U : 0U) << w;
+  return match;
+}
+
+/// First set way at or after `start`, searching circularly within an A-way set.
+/// Models the NRU replacement pointer scan. Requires m restricted to [0, ways)
+/// to be non-empty.
+[[nodiscard]] constexpr std::uint32_t mask_next_circular(WayMask m, std::uint32_t start,
+                                                         std::uint32_t ways) {
+  const WayMask in_range = m & full_way_mask(ways);
+  PLRUPART_ASSERT(in_range != 0);
+  PLRUPART_ASSERT(start < ways);
+  const WayMask at_or_after = in_range & ~((WayMask{1} << start) - 1);
+  if (at_or_after != 0) return mask_first(at_or_after);
+  return mask_first(in_range);
+}
+
+}  // namespace plrupart

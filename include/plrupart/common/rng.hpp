@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulations must be reproducible run-to-run and machine-to-machine, so we ship
+// our own small generators (SplitMix64 for seeding, xoshiro256** for streams)
+// instead of relying on the unspecified std::default_random_engine.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "plrupart/common/assert.hpp"
+
+namespace plrupart {
+
+/// SplitMix64: tiny, fast, passes BigCrush when used as a seeder/stream splitter.
+class PLRUPART_EXPORT SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the main workhorse stream generator.
+class PLRUPART_EXPORT Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    PLRUPART_ASSERT(bound > 0);
+    __extension__ using u128 = unsigned __int128;
+    std::uint64_t x = next_u64();
+    u128 m = static_cast<u128>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<u128>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    PLRUPART_ASSERT(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derive a child seed from (root seed, stream index) so parallel entities get
+/// decorrelated, reproducible streams.
+[[nodiscard]] inline std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) noexcept {
+  SplitMix64 sm(root ^ (0xa5a5a5a5a5a5a5a5ULL + stream * 0x9e3779b97f4a7c15ULL));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace plrupart

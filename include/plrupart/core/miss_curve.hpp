@@ -1,0 +1,55 @@
+// Miss curve: predicted misses as a function of assigned ways, derived from a
+// thread's (e)SDH. The unit the partition-selection policies optimize over.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "plrupart/common/assert.hpp"
+#include "plrupart/core/sdh.hpp"
+
+namespace plrupart::core {
+
+class PLRUPART_EXPORT MissCurve {
+ public:
+  /// misses_by_ways[w] = predicted misses with w ways, w in [0, A].
+  /// Must be non-increasing; misses_by_ways[0] is the access total.
+  explicit MissCurve(std::vector<double> misses_by_ways);
+
+  /// Build from an SDH; `scale` un-does ATD set sampling (×32 by default
+  /// profile hardware) when absolute counts matter. Relative decisions are
+  /// scale-invariant.
+  [[nodiscard]] static MissCurve from_sdh(const Sdh& sdh, double scale = 1.0);
+
+  /// Predicted misses with w ways (w in [0, A]).
+  [[nodiscard]] double misses(std::uint32_t ways) const {
+    PLRUPART_ASSERT(ways < curve_.size());
+    return curve_[ways];
+  }
+
+  /// Associativity A the curve covers.
+  [[nodiscard]] std::uint32_t max_ways() const noexcept {
+    return static_cast<std::uint32_t>(curve_.size() - 1);
+  }
+
+  /// Misses avoided by going from w to w+1 ways (>= 0 by monotonicity).
+  [[nodiscard]] double marginal_gain(std::uint32_t ways) const {
+    PLRUPART_ASSERT(ways + 1 < curve_.size());
+    return curve_[ways] - curve_[ways + 1];
+  }
+
+  /// Total profiled accesses (== misses with zero ways).
+  [[nodiscard]] double accesses() const noexcept { return curve_.front(); }
+
+  /// True if marginal gains are non-increasing (greedy == optimal then).
+  [[nodiscard]] bool is_convex() const;
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return curve_; }
+
+ private:
+  std::vector<double> curve_;
+};
+
+}  // namespace plrupart::core

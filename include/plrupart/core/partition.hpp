@@ -1,0 +1,65 @@
+// Way partitions and the partition-selection policy interface.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "plrupart/common/assert.hpp"
+#include "plrupart/common/bits.hpp"
+#include "plrupart/core/miss_curve.hpp"
+
+namespace plrupart::core {
+
+/// ways[i] = number of L2 ways assigned to core i. A valid partition gives
+/// every core at least one way and distributes exactly the associativity.
+using Partition = std::vector<std::uint32_t>;
+
+inline void validate_partition(const Partition& p, std::uint32_t total_ways) {
+  PLRUPART_ASSERT_MSG(!p.empty(), "empty partition");
+  std::uint32_t sum = 0;
+  for (const std::uint32_t w : p) {
+    PLRUPART_ASSERT_MSG(w >= 1, "every core needs at least one way");
+    sum += w;
+  }
+  PLRUPART_ASSERT_MSG(sum == total_ways, "partition must distribute all ways");
+}
+
+/// Contiguous mask placement in core order: core 0 gets ways [0, p[0]),
+/// core 1 the next p[1] ways, and so on. Contiguity keeps the masks
+/// BT-traversal friendly (see cache::TreePlru).
+[[nodiscard]] inline std::vector<WayMask> contiguous_masks(const Partition& p) {
+  std::vector<WayMask> masks;
+  masks.reserve(p.size());
+  std::uint32_t first = 0;
+  for (const std::uint32_t w : p) {
+    masks.push_back(way_range_mask(first, w));
+    first += w;
+  }
+  return masks;
+}
+
+/// Predicted total misses of a partition under the given curves.
+[[nodiscard]] inline double partition_cost(const std::vector<MissCurve>& curves,
+                                           const Partition& p) {
+  PLRUPART_ASSERT(curves.size() == p.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) total += curves[i].misses(p[i]);
+  return total;
+}
+
+/// Interval-boundary decision logic: consumes one miss curve per core and
+/// produces the next partition.
+class PLRUPART_EXPORT PartitionPolicy {
+ public:
+  virtual ~PartitionPolicy() = default;
+  [[nodiscard]] virtual Partition decide(const std::vector<MissCurve>& curves,
+                                         std::uint32_t total_ways) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace plrupart::core

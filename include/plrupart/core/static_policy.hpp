@@ -1,0 +1,20 @@
+// Static even split: the no-profiling baseline partition.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include "plrupart/core/partition.hpp"
+
+namespace plrupart::core {
+
+class PLRUPART_EXPORT StaticEvenPolicy final : public PartitionPolicy {
+ public:
+  [[nodiscard]] Partition decide(const std::vector<MissCurve>& curves,
+                                 std::uint32_t total_ways) override;
+  [[nodiscard]] std::string name() const override { return "StaticEven"; }
+
+  /// Even split of `total_ways` among n cores, remainder to the lowest ids.
+  [[nodiscard]] static Partition even_split(std::uint32_t n, std::uint32_t total_ways);
+};
+
+}  // namespace plrupart::core

@@ -1,0 +1,32 @@
+// The paper's three performance metrics (§IV):
+//   IPC throughput    sum_i IPC_i
+//   weighted speedup  sum_i IPC_i^CMP / IPC_i^isolation      (Snavely/Tullsen)
+//   harmonic mean     N / sum_i (IPC_i^isolation / IPC_i^CMP) (Luo et al.)
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <vector>
+
+#include "plrupart/common/assert.hpp"
+
+namespace plrupart::metrics {
+
+struct PLRUPART_EXPORT PerfMetrics {
+  double throughput = 0.0;
+  double weighted_speedup = 0.0;
+  double harmonic_mean = 0.0;
+};
+
+[[nodiscard]] PLRUPART_EXPORT double throughput(const std::vector<double>& ipcs);
+
+[[nodiscard]] PLRUPART_EXPORT double weighted_speedup(const std::vector<double>& ipcs,
+                                      const std::vector<double>& isolation_ipcs);
+
+[[nodiscard]] PLRUPART_EXPORT double harmonic_mean_speedup(const std::vector<double>& ipcs,
+                                           const std::vector<double>& isolation_ipcs);
+
+[[nodiscard]] PLRUPART_EXPORT PerfMetrics compute(const std::vector<double>& ipcs,
+                                  const std::vector<double>& isolation_ipcs);
+
+}  // namespace plrupart::metrics

@@ -1,0 +1,62 @@
+// SweepExecutor: fans RunSpecs out over the process thread pool and puts the
+// results back in canonical job order, plus the CSV side of large-scale runs
+// (canonical emission, shard-output merge/validation).
+//
+// Determinism contract: each job is a single-threaded deterministic
+// simulation and every result lands at its own index, so the CSV written for
+// a job list is byte-identical at any --threads value, and the merge of a
+// full set of shard CSVs is byte-identical to the unsharded run.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "plrupart/runner/run_spec.hpp"
+
+namespace plrupart::runner {
+
+struct PLRUPART_EXPORT SweepOptions {
+  std::size_t threads = 0;  ///< worker threads; 0 = one per hardware thread
+  bool progress = false;    ///< per-job completion lines on stderr
+};
+
+struct PLRUPART_EXPORT JobResult {
+  RunSpec spec;
+  sim::SimResult result;
+};
+
+class PLRUPART_EXPORT SweepExecutor {
+ public:
+  explicit SweepExecutor(SweepOptions opts = {}) : opts_(opts) {}
+
+  /// Run every job; results come back in the order of `jobs` (canonical order
+  /// when the list came from RunMatrix::expand()/shard()), regardless of which
+  /// worker finished when.
+  [[nodiscard]] std::vector<JobResult> run(std::vector<RunSpec> jobs) const;
+
+ private:
+  SweepOptions opts_;
+};
+
+/// Column names of the sweep CSV. Leading "job" column carries the canonical
+/// full-matrix index — the job key the merge step sorts and dedups on.
+[[nodiscard]] PLRUPART_EXPORT const std::vector<std::string>& sweep_csv_header();
+
+/// Emit one row per (job, core) in the given order.
+PLRUPART_EXPORT void write_csv(std::ostream& os, const std::vector<JobResult>& results);
+
+/// Merge shard CSVs (written by write_csv) into `os`: headers must match the
+/// sweep schema exactly, job keys must not repeat across inputs, and rows are
+/// re-sorted to canonical job order. Throws InvariantError on any violation.
+PLRUPART_EXPORT void merge_csv(const std::vector<std::string>& shard_paths, std::ostream& os);
+
+/// Stream-level core of merge_csv, separated for tests. `names` labels each
+/// stream in error messages (parallel to `shards`).
+PLRUPART_EXPORT void merge_csv_streams(const std::vector<std::istream*>& shards,
+                       const std::vector<std::string>& names, std::ostream& os);
+
+}  // namespace plrupart::runner

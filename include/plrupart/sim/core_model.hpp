@@ -1,0 +1,78 @@
+// Analytical core timing model.
+//
+// Substitutes the paper's out-of-order Turandot cores with cycle accounting:
+// non-memory instructions retire at a sustained base IPC; a memory operation
+// adds a stall charge when it misses a cache level. `stall_fraction` scales
+// the raw miss penalty down to the portion an out-of-order window cannot hide
+// (1.0 = fully exposed pointer chase, small values = high MLP streaming).
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <cstdint>
+
+#include "plrupart/common/assert.hpp"
+
+namespace plrupart::sim {
+
+/// Where an access was satisfied.
+enum class AccessLevel : std::uint8_t { kL1, kL2, kMemory };
+
+struct PLRUPART_EXPORT CoreParams {
+  double base_ipc = 2.0;        ///< sustained non-memory IPC of the 8-wide core
+  double l2_hit_penalty = 11;   ///< cycles: L1 miss that hits L2 (paper Table II)
+  double mem_penalty = 250;     ///< cycles: L2 miss to memory (paper Table II)
+  double stall_fraction = 0.7;  ///< exposed fraction of miss penalties
+
+  void validate() const {
+    PLRUPART_ASSERT(base_ipc > 0.0);
+    PLRUPART_ASSERT(l2_hit_penalty >= 0.0 && mem_penalty >= 0.0);
+    PLRUPART_ASSERT(stall_fraction >= 0.0 && stall_fraction <= 1.0);
+  }
+};
+
+class PLRUPART_EXPORT CoreModel {
+ public:
+  explicit CoreModel(const CoreParams& params) : params_(params) { params.validate(); }
+
+  /// Commit `n` non-memory instructions.
+  void commit_gap(std::uint32_t n) noexcept {
+    cycles_ += static_cast<double>(n) / params_.base_ipc;
+    instructions_ += n;
+  }
+
+  /// Commit one memory instruction satisfied at `level`.
+  void commit_mem(AccessLevel level) noexcept {
+    cycles_ += 1.0 / params_.base_ipc;
+    switch (level) {
+      case AccessLevel::kL1:
+        break;  // pipelined L1 hit
+      case AccessLevel::kL2:
+        cycles_ += params_.l2_hit_penalty * params_.stall_fraction;
+        break;
+      case AccessLevel::kMemory:
+        cycles_ += params_.mem_penalty * params_.stall_fraction;
+        break;
+    }
+    ++instructions_;
+  }
+
+  [[nodiscard]] double cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::uint64_t instructions() const noexcept { return instructions_; }
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles_ > 0.0 ? static_cast<double>(instructions_) / cycles_ : 0.0;
+  }
+  [[nodiscard]] const CoreParams& params() const noexcept { return params_; }
+
+  void reset() noexcept {
+    cycles_ = 0.0;
+    instructions_ = 0;
+  }
+
+ private:
+  CoreParams params_;
+  double cycles_ = 0.0;
+  std::uint64_t instructions_ = 0;
+};
+
+}  // namespace plrupart::sim

@@ -1,0 +1,60 @@
+// Trace ingestion: convert externally captured address traces into the
+// native plrupart-trace formats (and between v1 and v2).
+//
+// Supported inputs:
+//  - native   : plrupart-trace v1/v2 (auto-detected by header); re-encoding
+//               between v1 and v2 is lossless — the decoded op stream is
+//               identical.
+//  - champsim : ChampSim's uncompressed binary instruction format — 64-byte
+//               little-endian `input_instr` records (ip, branch info, 2+4
+//               register ids, 2 destination + 4 source memory addresses).
+//               Every record is one committed instruction; records without
+//               memory operands accumulate into the next memory op's
+//               gap_instrs (loads are emitted before stores within one
+//               instruction). Decompress .xz/.gz traces first.
+//  - pin      : PIN "pinatrace"-style text — `<ip>: <R|W> <addr>` per line,
+//               '#' comment lines ignored, CRLF tolerated. PIN traces carry
+//               no instruction counts, so gap_instrs is 0 (a pure memory
+//               stream).
+//
+// Conversion streams record-by-record in O(buffer) memory at both ends.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include "plrupart/sim/trace_codec.hpp"
+
+namespace plrupart::sim {
+
+enum class ExternalTraceKind : std::uint8_t {
+  kAuto,      ///< native if the header matches; anything else must be named
+  kNative,    ///< plrupart-trace v1/v2
+  kChampSim,  ///< ChampSim binary input_instr records
+  kPin,       ///< PIN-style text address trace
+};
+
+struct PLRUPART_EXPORT ConvertStats {
+  std::uint64_t ops_out = 0;     ///< MemOps written to the output trace
+  std::uint64_t records_in = 0;  ///< input units: native ops / ChampSim instrs / PIN lines
+  ExternalTraceKind kind = ExternalTraceKind::kAuto;  ///< resolved input kind
+  TraceFormat out_format = TraceFormat::kBinaryV2;
+};
+
+/// Convert `in_path` into a native trace at `out_path`. `max_ops` (0 = no
+/// limit) caps the number of emitted operations, for cutting SimPoint-sized
+/// windows out of long captures. Throws TraceError on unreadable or
+/// malformed input, or when the input yields no memory operations.
+PLRUPART_EXPORT ConvertStats convert_trace(const std::string& in_path, const std::string& out_path,
+                           ExternalTraceKind kind, TraceFormat out_format,
+                           std::uint64_t max_ops = 0);
+
+/// "auto" | "native" | "champsim" | "pin" -> kind; throws TraceError otherwise.
+[[nodiscard]] PLRUPART_EXPORT ExternalTraceKind trace_kind_from_name(const std::string& name);
+
+/// "v1" | "v2" -> format; throws TraceError otherwise.
+[[nodiscard]] PLRUPART_EXPORT TraceFormat trace_format_from_name(const std::string& name);
+
+}  // namespace plrupart::sim

@@ -1,0 +1,30 @@
+// Trace-backed workload construction: captured trace files as first-class
+// workloads, composing with the sweep engine exactly like catalog entries.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <string>
+#include <vector>
+
+#include "plrupart/sim/core_model.hpp"
+#include "plrupart/workloads/workload_table.hpp"
+
+namespace plrupart::workloads {
+
+/// Timing personality applied to every trace-backed core. Captured address
+/// traces carry no catalog profile, so a neutral out-of-order core (the
+/// CoreParams defaults) is assumed; the cache behavior comes entirely from
+/// the recorded stream.
+[[nodiscard]] PLRUPART_EXPORT sim::CoreParams trace_core_params() noexcept;
+
+/// Build a Workload that replays one captured trace per core. `benchmarks`
+/// holds the trace basenames (the CSV display names) and the id is
+/// "trace:<base>+<base>+...". A basename that appears under two different
+/// paths in one list gets an "@<core>" suffix, so per-core names stay
+/// unambiguous; repeating the SAME path (co-running copies of one capture)
+/// keeps the plain name. Paths are kept verbatim; existence/format are
+/// validated by RunMatrix::validate().
+[[nodiscard]] PLRUPART_EXPORT Workload workload_from_traces(const std::vector<std::string>& paths);
+
+}  // namespace plrupart::workloads

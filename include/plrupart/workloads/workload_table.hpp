@@ -1,0 +1,41 @@
+// The paper's Table II workload list, encoded verbatim: 24 two-thread, 14
+// four-thread and 11 eight-thread random SPEC CPU 2000 combinations.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <string>
+#include <vector>
+
+namespace plrupart::workloads {
+
+struct PLRUPART_EXPORT Workload {
+  std::string id;                       ///< e.g. "2T_07"
+  std::vector<std::string> benchmarks;  ///< catalog names, one per core (for
+                                        ///< trace-backed workloads: display
+                                        ///< names, the trace file basenames)
+  /// Trace-backed workloads: one captured-trace path per core, parallel to
+  /// `benchmarks`. Empty = synthetic (catalog generators). Built via
+  /// workloads::workload_from_traces(). (The default member initializer keeps
+  /// the Table II aggregate initializers warning-clean.)
+  std::vector<std::string> traces = {};
+
+  [[nodiscard]] bool trace_backed() const noexcept { return !traces.empty(); }
+
+  [[nodiscard]] std::uint32_t threads() const {
+    return static_cast<std::uint32_t>(benchmarks.size());
+  }
+};
+
+[[nodiscard]] PLRUPART_EXPORT const std::vector<Workload>& workloads_2t();
+[[nodiscard]] PLRUPART_EXPORT const std::vector<Workload>& workloads_4t();
+[[nodiscard]] PLRUPART_EXPORT const std::vector<Workload>& workloads_8t();
+
+/// All 49 workloads in Table II order.
+[[nodiscard]] PLRUPART_EXPORT const std::vector<Workload>& all_workloads();
+
+/// Workloads with the given thread count (1 returns one single-thread
+/// workload per catalog benchmark, used by the paper's 1-core Fig. 6 column).
+[[nodiscard]] PLRUPART_EXPORT std::vector<Workload> workloads_for_threads(std::uint32_t threads);
+
+}  // namespace plrupart::workloads

@@ -1,4 +1,4 @@
-#include "cache/cache.hpp"
+#include "plrupart/cache/cache.hpp"
 
 #include <algorithm>
 

@@ -1,4 +1,4 @@
-#include "cache/lru.hpp"
+#include "plrupart/cache/lru.hpp"
 
 namespace plrupart::cache {
 

@@ -1,4 +1,4 @@
-#include "cache/nru.hpp"
+#include "plrupart/cache/nru.hpp"
 
 namespace plrupart::cache {
 

@@ -1,4 +1,4 @@
-#include "cache/random_repl.hpp"
+#include "plrupart/cache/random_repl.hpp"
 
 namespace plrupart::cache {
 

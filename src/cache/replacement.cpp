@@ -1,10 +1,10 @@
-#include "cache/replacement.hpp"
+#include "plrupart/cache/replacement.hpp"
 
-#include "cache/lru.hpp"
-#include "cache/nru.hpp"
-#include "cache/random_repl.hpp"
-#include "cache/srrip.hpp"
-#include "cache/tree_plru.hpp"
+#include "plrupart/cache/lru.hpp"
+#include "plrupart/cache/nru.hpp"
+#include "plrupart/cache/random_repl.hpp"
+#include "plrupart/cache/srrip.hpp"
+#include "plrupart/cache/tree_plru.hpp"
 
 namespace plrupart::cache {
 

@@ -1,4 +1,4 @@
-#include "cache/srrip.hpp"
+#include "plrupart/cache/srrip.hpp"
 
 namespace plrupart::cache {
 

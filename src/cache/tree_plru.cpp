@@ -1,4 +1,4 @@
-#include "cache/tree_plru.hpp"
+#include "plrupart/cache/tree_plru.hpp"
 
 namespace plrupart::cache {
 

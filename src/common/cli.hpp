@@ -11,7 +11,7 @@
 #include <string_view>
 #include <vector>
 
-#include "common/assert.hpp"
+#include "plrupart/common/assert.hpp"
 
 namespace plrupart {
 

@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "common/assert.hpp"
+#include "plrupart/common/assert.hpp"
 
 namespace plrupart {
 

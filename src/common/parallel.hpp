@@ -18,7 +18,7 @@
 #include <type_traits>
 #include <vector>
 
-#include "common/assert.hpp"
+#include "plrupart/common/assert.hpp"
 
 namespace plrupart {
 

@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <limits>
 
-#include "common/assert.hpp"
+#include "plrupart/common/assert.hpp"
 
 namespace plrupart {
 

@@ -1,9 +1,9 @@
-#include "core/atd.hpp"
+#include "plrupart/core/atd.hpp"
 
 #include <algorithm>
 
 #include "cache/policy_visit.hpp"
-#include "common/bits.hpp"
+#include "plrupart/common/bits.hpp"
 
 namespace plrupart::core {
 

@@ -2,7 +2,7 @@
 // it in the build (the estimate itself is produced by
 // cache::TreePlru::estimate_position — the ID decoder + XOR + SUB datapath of
 // paper Fig. 4(b,c)).
-#include "core/profiler.hpp"
+#include "plrupart/core/profiler.hpp"
 
 namespace plrupart::core {
 

@@ -1,6 +1,6 @@
-#include "core/controller.hpp"
+#include "plrupart/core/controller.hpp"
 
-#include "core/static_policy.hpp"
+#include "plrupart/core/static_policy.hpp"
 
 namespace plrupart::core {
 

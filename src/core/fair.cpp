@@ -1,4 +1,4 @@
-#include "core/fair.hpp"
+#include "plrupart/core/fair.hpp"
 
 namespace plrupart::core {
 

@@ -1,4 +1,4 @@
-#include "core/ipc_policy.hpp"
+#include "plrupart/core/ipc_policy.hpp"
 
 #include <limits>
 

@@ -1,5 +1,5 @@
 // LruProfiler and the profiler factory.
-#include "core/profiler.hpp"
+#include "plrupart/core/profiler.hpp"
 
 namespace plrupart::core {
 

@@ -1,4 +1,4 @@
-#include "core/min_misses.hpp"
+#include "plrupart/core/min_misses.hpp"
 
 #include <limits>
 

@@ -1,4 +1,4 @@
-#include "core/miss_curve.hpp"
+#include "plrupart/core/miss_curve.hpp"
 
 namespace plrupart::core {
 

@@ -1,7 +1,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "core/profiler.hpp"
+#include "plrupart/core/profiler.hpp"
 
 namespace plrupart::core {
 

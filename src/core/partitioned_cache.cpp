@@ -1,12 +1,12 @@
-#include "core/partitioned_cache.hpp"
+#include "plrupart/core/partitioned_cache.hpp"
 
 #include <sstream>
 
-#include "cache/tree_plru.hpp"
-#include "common/rng.hpp"
-#include "core/fair.hpp"
-#include "core/static_policy.hpp"
-#include "core/tree_rounding.hpp"
+#include "plrupart/cache/tree_plru.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/core/fair.hpp"
+#include "plrupart/core/static_policy.hpp"
+#include "plrupart/core/tree_rounding.hpp"
 
 namespace plrupart::core {
 

@@ -1,6 +1,6 @@
-#include "core/qos.hpp"
+#include "plrupart/core/qos.hpp"
 
-#include "core/min_misses.hpp"
+#include "plrupart/core/min_misses.hpp"
 
 namespace plrupart::core {
 

@@ -1,6 +1,6 @@
 // Sdh is header-only; this translation unit anchors the module in the build
 // and holds its static checks.
-#include "core/sdh.hpp"
+#include "plrupart/core/sdh.hpp"
 
 namespace plrupart::core {
 

@@ -1,4 +1,4 @@
-#include "core/static_policy.hpp"
+#include "plrupart/core/static_policy.hpp"
 
 namespace plrupart::core {
 

@@ -1,4 +1,4 @@
-#include "core/tree_rounding.hpp"
+#include "plrupart/core/tree_rounding.hpp"
 
 #include <algorithm>
 #include <limits>

@@ -1,6 +1,6 @@
-#include "power/complexity.hpp"
+#include "plrupart/power/complexity.hpp"
 
-#include "common/bits.hpp"
+#include "plrupart/common/bits.hpp"
 
 namespace plrupart::power {
 

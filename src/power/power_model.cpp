@@ -1,6 +1,6 @@
-#include "power/power_model.hpp"
+#include "plrupart/power/power_model.hpp"
 
-#include "common/assert.hpp"
+#include "plrupart/common/assert.hpp"
 
 namespace plrupart::power {
 

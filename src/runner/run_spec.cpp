@@ -1,15 +1,15 @@
-#include "runner/run_spec.hpp"
+#include "plrupart/runner/run_spec.hpp"
 
 #include <memory>
 #include <utility>
 
-#include "common/assert.hpp"
-#include "common/rng.hpp"
-#include "core/partitioned_cache.hpp"
-#include "sim/trace_file.hpp"
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
-#include "workloads/trace_workload.hpp"
+#include "plrupart/common/assert.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/core/partitioned_cache.hpp"
+#include "plrupart/sim/trace_file.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
+#include "plrupart/workloads/trace_workload.hpp"
 
 namespace plrupart::runner {
 

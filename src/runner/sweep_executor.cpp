@@ -1,4 +1,4 @@
-#include "runner/sweep_executor.hpp"
+#include "plrupart/runner/sweep_executor.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -11,7 +11,7 @@
 #include <string_view>
 #include <utility>
 
-#include "common/assert.hpp"
+#include "plrupart/common/assert.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/parallel.hpp"

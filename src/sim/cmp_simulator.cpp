@@ -1,4 +1,4 @@
-#include "sim/cmp_simulator.hpp"
+#include "plrupart/sim/cmp_simulator.hpp"
 
 #include <algorithm>
 #include <limits>

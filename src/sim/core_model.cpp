@@ -1,5 +1,5 @@
 // CoreModel is header-only; this translation unit anchors the module.
-#include "sim/core_model.hpp"
+#include "plrupart/sim/core_model.hpp"
 
 namespace plrupart::sim {
 

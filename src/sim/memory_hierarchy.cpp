@@ -1,6 +1,6 @@
-#include "sim/memory_hierarchy.hpp"
+#include "plrupart/sim/memory_hierarchy.hpp"
 
-#include "common/rng.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::sim {
 

@@ -1,4 +1,4 @@
-#include "sim/trace_codec.hpp"
+#include "plrupart/sim/trace_codec.hpp"
 
 #include <utility>
 

@@ -1,4 +1,4 @@
-#include "sim/trace_convert.hpp"
+#include "plrupart/sim/trace_convert.hpp"
 
 #include <algorithm>
 #include <array>
@@ -9,7 +9,7 @@
 #include <sstream>
 #include <system_error>
 
-#include "sim/trace_file.hpp"
+#include "plrupart/sim/trace_file.hpp"
 
 namespace plrupart::sim {
 

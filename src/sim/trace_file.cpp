@@ -1,9 +1,9 @@
-#include "sim/trace_file.hpp"
+#include "plrupart/sim/trace_file.hpp"
 
 #include <charconv>
 #include <limits>
 
-#include "common/assert.hpp"
+#include "plrupart/common/assert.hpp"
 #include "common/path.hpp"
 
 namespace plrupart::sim {

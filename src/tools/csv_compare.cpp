@@ -1,0 +1,132 @@
+// Tolerance-aware CSV comparison for the benchmark baseline gate.
+//
+//   csv_compare <expected.csv> <actual.csv> [rel_tol]
+//
+// Headers must match exactly; every data cell must either match as a string
+// or parse as two numbers within `rel_tol` (default 0.02) relative tolerance:
+//   |a - b| <= abs_tol + rel_tol * max(|a|, |b|)
+// The simulation itself is bit-deterministic, so the tolerance only absorbs
+// floating-point summary arithmetic (ratios, geomeans, power sums) differing
+// across compilers/libms — an accuracy regression in the simulated metrics is
+// far outside it. Exits 0 on match, 1 with a per-cell report otherwise.
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tool_version.hpp"
+
+namespace {
+
+constexpr double kAbsTol = 1e-9;
+
+std::optional<double> parse_double(const std::string& s) {
+  double v = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return v;
+}
+
+std::vector<std::string> split_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t begin = 0;
+  for (;;) {
+    const auto comma = line.find(',', begin);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(begin));
+      return fields;
+    }
+    fields.push_back(line.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+}
+
+std::vector<std::string> read_lines(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "csv_compare: cannot open '%s'\n", path);
+    std::exit(2);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--version") == 0) {
+    plrupart::tools::print_version("plrupart-csv-compare");
+    return 0;
+  }
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: plrupart-csv-compare <expected.csv> <actual.csv> [rel_tol]\n");
+    return 2;
+  }
+  const double rel_tol = argc == 4 ? std::stod(argv[3]) : 0.02;
+
+  const auto expected = read_lines(argv[1]);
+  const auto actual = read_lines(argv[2]);
+  if (expected.empty()) {
+    std::fprintf(stderr, "csv_compare: baseline '%s' is empty\n", argv[1]);
+    return 2;
+  }
+  int failures = 0;
+  if (expected.size() != actual.size()) {
+    std::fprintf(stderr, "csv_compare: row count differs: expected %zu, got %zu\n",
+                 expected.size(), actual.size());
+    ++failures;
+  }
+  if (!expected.empty() && !actual.empty() && expected[0] != actual[0]) {
+    std::fprintf(stderr, "csv_compare: header differs:\n  expected: %s\n  actual:   %s\n",
+                 expected[0].c_str(), actual[0].c_str());
+    return 1;
+  }
+
+  const std::size_t rows = std::min(expected.size(), actual.size());
+  for (std::size_t r = 1; r < rows; ++r) {
+    const auto e = split_row(expected[r]);
+    const auto a = split_row(actual[r]);
+    if (e.size() != a.size()) {
+      std::fprintf(stderr, "csv_compare: row %zu field count differs (%zu vs %zu)\n", r,
+                   e.size(), a.size());
+      ++failures;
+      continue;
+    }
+    for (std::size_t f = 0; f < e.size(); ++f) {
+      if (e[f] == a[f]) continue;
+      const auto ev = parse_double(e[f]);
+      const auto av = parse_double(a[f]);
+      if (ev && av) {
+        const double diff = std::fabs(*ev - *av);
+        const double bound = kAbsTol + rel_tol * std::max(std::fabs(*ev), std::fabs(*av));
+        if (diff <= bound) continue;
+        std::fprintf(stderr,
+                     "csv_compare: row %zu field %zu: %.9g vs %.9g "
+                     "(diff %.3g > tol %.3g)\n",
+                     r, f, *ev, *av, diff, bound);
+      } else {
+        std::fprintf(stderr, "csv_compare: row %zu field %zu: '%s' vs '%s'\n", r, f,
+                     e[f].c_str(), a[f].c_str());
+      }
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "csv_compare: %d mismatching cell(s) between %s and %s\n",
+                 failures, argv[1], argv[2]);
+    return 1;
+  }
+  return 0;
+}

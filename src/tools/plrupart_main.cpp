@@ -44,14 +44,15 @@
 #include <utility>
 #include <vector>
 
-#include "common/assert.hpp"
 #include "common/cli.hpp"
-#include "core/partitioned_cache.hpp"
-#include "runner/run_spec.hpp"
-#include "runner/sweep_executor.hpp"
-#include "workloads/catalog.hpp"
-#include "workloads/trace_workload.hpp"
-#include "workloads/workload_table.hpp"
+#include "plrupart/common/assert.hpp"
+#include "plrupart/core/partitioned_cache.hpp"
+#include "tool_version.hpp"
+#include "plrupart/runner/run_spec.hpp"
+#include "plrupart/runner/sweep_executor.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/trace_workload.hpp"
+#include "plrupart/workloads/workload_table.hpp"
 
 using namespace plrupart;
 
@@ -93,7 +94,8 @@ void print_usage() {
       "run flags:   --instr N [1000000]  --warmup N [instr/2]  --assoc N [16]\n"
       "             --line N [128]  --interval N [1000000]  --sampling N [32]\n"
       "             --seed N [1]  --csv PATH (default: stdout)\n"
-      "scale-out:   --threads N [0 = all hardware threads]  --shard i/n  --progress\n");
+      "scale-out:   --threads N [0 = all hardware threads]  --shard i/n  --progress\n"
+      "other:       --version  print packaged version + git describe\n");
 }
 
 void list_workloads() {
@@ -311,7 +313,8 @@ bool check_args(int argc, char** argv) {
       "--warmup",   "--l2-kb",      "--l2-kb-sweep", "--assoc", "--line",
       "--interval", "--sampling",   "--seed",     "--csv",      "--threads",
       "--shard",    "--merge-csv",  "--trace"};
-  static constexpr std::string_view kBoolFlags[] = {"--help", "-h", "--list-workloads",
+  static constexpr std::string_view kBoolFlags[] = {"--help",         "-h",
+                                                    "--version",      "--list-workloads",
                                                     "--list-configs", "--progress"};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -342,6 +345,10 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   try {
     if (!check_args(argc, argv)) return 1;
+    if (cli.has("--version")) {
+      tools::print_version("plrupart");
+      return 0;
+    }
     if (cli.has("--help") || cli.has("-h") || argc == 1) {
       print_usage();
       return 0;

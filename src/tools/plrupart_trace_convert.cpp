@@ -22,7 +22,8 @@
 #include <string_view>
 
 #include "common/cli.hpp"
-#include "sim/trace_convert.hpp"
+#include "plrupart/sim/trace_convert.hpp"
+#include "tool_version.hpp"
 
 using namespace plrupart;
 
@@ -39,13 +40,14 @@ void print_usage() {
       "  --from pin        '<ip>: <R|W> <addr>' text lines (pinatrace)\n"
       "  --from native     plrupart-trace v1/v2 (re-encode; also what auto detects)\n"
       "  --to v2           compact binary (varint gap + delta addresses), the default\n"
-      "  --to v1           line-oriented text, human-readable\n");
+      "  --to v1           line-oriented text, human-readable\n"
+      "  --version         print packaged version + git describe\n");
 }
 
 bool check_args(int argc, char** argv) {
   static constexpr std::string_view kValueFlags[] = {"--in", "--out", "--from", "--to",
                                                      "--max-ops"};
-  static constexpr std::string_view kBoolFlags[] = {"--help", "-h"};
+  static constexpr std::string_view kBoolFlags[] = {"--help", "-h", "--version"};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto name = arg.substr(0, arg.find('='));
@@ -77,6 +79,10 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   try {
     if (!check_args(argc, argv)) return 1;
+    if (cli.has("--version")) {
+      tools::print_version("plrupart-trace-convert");
+      return 0;
+    }
     if (cli.has("--help") || cli.has("-h") || argc == 1) {
       print_usage();
       return 0;

@@ -1,0 +1,24 @@
+// Shared --version output for the installed tools.
+//
+// The semver comes from the generated plrupart/version.hpp (single-sourced in
+// cmake/version.cmake), so the printed string always matches what
+// plrupartConfigVersion.cmake and plrupart.pc advertise; the git describe
+// suffix pins the exact tree the binary was built from ("unknown" for
+// tarball builds).
+#pragma once
+
+#include <cstdio>
+
+#include "plrupart/version.hpp"
+
+#ifndef PLRUPART_GIT_DESCRIBE
+#define PLRUPART_GIT_DESCRIBE "unknown"
+#endif
+
+namespace plrupart::tools {
+
+inline void print_version(const char* tool_name) {
+  std::printf("%s %s (git %s)\n", tool_name, kVersionString, PLRUPART_GIT_DESCRIBE);
+}
+
+}  // namespace plrupart::tools

@@ -1,4 +1,4 @@
-#include "workloads/catalog.hpp"
+#include "plrupart/workloads/catalog.hpp"
 
 #include <algorithm>
 

@@ -1,4 +1,4 @@
-#include "workloads/generators.hpp"
+#include "plrupart/workloads/generators.hpp"
 
 #include <algorithm>
 #include <cmath>

@@ -1,6 +1,6 @@
-#include "workloads/trace_workload.hpp"
+#include "plrupart/workloads/trace_workload.hpp"
 
-#include "common/assert.hpp"
+#include "plrupart/common/assert.hpp"
 #include "common/path.hpp"
 
 namespace plrupart::workloads {

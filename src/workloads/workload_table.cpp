@@ -1,7 +1,7 @@
-#include "workloads/workload_table.hpp"
+#include "plrupart/workloads/workload_table.hpp"
 
-#include "common/assert.hpp"
-#include "workloads/catalog.hpp"
+#include "plrupart/common/assert.hpp"
+#include "plrupart/workloads/catalog.hpp"
 
 namespace plrupart::workloads {
 

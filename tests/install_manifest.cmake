@@ -1,0 +1,83 @@
+# CTest script: install the already-built tree into a scratch prefix and
+# require the resulting file set to match tests/support/install_manifest.txt
+# EXACTLY. A new public header, a leaked internal (src/-only) header, a
+# renamed tool, or a dropped package file all fail here until the manifest is
+# deliberately updated alongside the change.
+#
+# Manifest placeholders: @BINDIR@, @LIBDIR@, @INCLUDEDIR@ (GNUInstallDirs
+# values) and @CONFIG@ (lower-case build configuration). The library file
+# entries are computed, not listed: libplrupart.a for static builds;
+# libplrupart.so + .so.<soversion> + .so.<version> for shared ones.
+cmake_minimum_required(VERSION 3.20)  # script mode: enables IN_LIST et al.
+
+foreach(var BUILD_DIR MANIFEST WORK_DIR INSTALL_BINDIR INSTALL_LIBDIR
+            INSTALL_INCLUDEDIR LIB_VERSION LIB_SOVERSION BUILD_CONFIG)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "install_manifest.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+set(prefix "${WORK_DIR}/prefix")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --install "${BUILD_DIR}" --prefix "${prefix}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE install_out
+  ERROR_VARIABLE install_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cmake --install failed (${rc}):\n${install_out}")
+endif()
+
+# ---- expected set -----------------------------------------------------------
+file(STRINGS "${MANIFEST}" manifest_lines)
+set(expected "")
+foreach(line IN LISTS manifest_lines)
+  if(line STREQUAL "" OR line MATCHES "^#")
+    continue()
+  endif()
+  string(REPLACE "@BINDIR@" "${INSTALL_BINDIR}" line "${line}")
+  string(REPLACE "@LIBDIR@" "${INSTALL_LIBDIR}" line "${line}")
+  string(REPLACE "@INCLUDEDIR@" "${INSTALL_INCLUDEDIR}" line "${line}")
+  string(REPLACE "@CONFIG@" "${BUILD_CONFIG}" line "${line}")
+  list(APPEND expected "${line}")
+endforeach()
+if(BUILD_SHARED_LIBS)
+  list(APPEND expected
+       "${INSTALL_LIBDIR}/libplrupart.so"
+       "${INSTALL_LIBDIR}/libplrupart.so.${LIB_SOVERSION}"
+       "${INSTALL_LIBDIR}/libplrupart.so.${LIB_VERSION}")
+else()
+  list(APPEND expected "${INSTALL_LIBDIR}/libplrupart.a")
+endif()
+
+# ---- actual set -------------------------------------------------------------
+file(GLOB_RECURSE actual LIST_DIRECTORIES false RELATIVE "${prefix}" "${prefix}/*")
+
+list(SORT expected)
+list(SORT actual)
+list(REMOVE_DUPLICATES expected)
+
+set(missing "")
+foreach(f IN LISTS expected)
+  if(NOT f IN_LIST actual)
+    list(APPEND missing "${f}")
+  endif()
+endforeach()
+set(unexpected "")
+foreach(f IN LISTS actual)
+  if(NOT f IN_LIST expected)
+    list(APPEND unexpected "${f}")
+  endif()
+endforeach()
+
+if(missing OR unexpected)
+  string(REPLACE ";" "\n  " missing_str "${missing}")
+  string(REPLACE ";" "\n  " unexpected_str "${unexpected}")
+  message(FATAL_ERROR "installed file set differs from tests/support/"
+          "install_manifest.txt\nmissing from install:\n  ${missing_str}\n"
+          "not in manifest:\n  ${unexpected_str}\n"
+          "If this change is intentional, update the manifest.")
+endif()
+
+list(LENGTH actual n)
+message(STATUS "install manifest exact: ${n} files match (ok)")

@@ -16,8 +16,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "cache/cache.hpp"
-#include "common/rng.hpp"
+#include "plrupart/cache/cache.hpp"
+#include "plrupart/common/rng.hpp"
 #include "support/reference_cache.hpp"
 
 using namespace plrupart;

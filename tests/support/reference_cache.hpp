@@ -20,10 +20,10 @@
 #include <memory>
 #include <vector>
 
-#include "cache/cache.hpp"
-#include "cache/cache_stats.hpp"
-#include "cache/geometry.hpp"
-#include "cache/replacement.hpp"
+#include "plrupart/cache/cache.hpp"
+#include "plrupart/cache/cache_stats.hpp"
+#include "plrupart/cache/geometry.hpp"
+#include "plrupart/cache/replacement.hpp"
 
 namespace plrupart::testing {
 

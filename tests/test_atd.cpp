@@ -1,10 +1,10 @@
 // Auxiliary Tag Directory: set sampling, hit/miss semantics, pre-update
 // estimates, storage accounting.
-#include "core/atd.hpp"
+#include "plrupart/core/atd.hpp"
 
 #include <gtest/gtest.h>
 
-#include "common/rng.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::core {
 namespace {

@@ -1,4 +1,4 @@
-#include "common/bits.hpp"
+#include "plrupart/common/bits.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,11 +1,11 @@
 // SetAssocCache behavior: hits, misses, fills, eviction bookkeeping, stats.
-#include "cache/cache.hpp"
+#include "plrupart/cache/cache.hpp"
 
 #include <gtest/gtest.h>
 
 #include <set>
 
-#include "common/rng.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::cache {
 namespace {

@@ -3,8 +3,8 @@
 
 #include <set>
 
-#include "workloads/catalog.hpp"
-#include "workloads/workload_table.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/workload_table.hpp"
 
 namespace plrupart::workloads {
 namespace {

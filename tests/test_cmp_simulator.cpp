@@ -1,11 +1,11 @@
 // CmpSimulator: determinism, instruction quotas, isolation equivalence,
 // dynamic repartitioning in the loop.
-#include "sim/cmp_simulator.hpp"
+#include "plrupart/sim/cmp_simulator.hpp"
 
 #include <gtest/gtest.h>
 
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
 
 namespace plrupart::sim {
 namespace {

@@ -1,6 +1,6 @@
 // Table I reproduction: these tests pin the paper's bracketed numbers
 // (16-way 2MB L2, 128B lines, 2 cores, 47 tag bits).
-#include "power/complexity.hpp"
+#include "plrupart/power/complexity.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,9 +1,9 @@
 // IntervalController: boundary firing, decay, history, partition application.
-#include "core/controller.hpp"
+#include "plrupart/core/controller.hpp"
 
 #include <gtest/gtest.h>
 
-#include "core/min_misses.hpp"
+#include "plrupart/core/min_misses.hpp"
 
 namespace plrupart::core {
 namespace {

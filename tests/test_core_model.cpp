@@ -1,4 +1,4 @@
-#include "sim/core_model.hpp"
+#include "plrupart/sim/core_model.hpp"
 
 #include <gtest/gtest.h>
 

@@ -6,11 +6,11 @@
 
 #include <vector>
 
-#include "cache/cache.hpp"
-#include "common/rng.hpp"
-#include "sim/cmp_simulator.hpp"
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
+#include "plrupart/cache/cache.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/sim/cmp_simulator.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
 
 namespace plrupart {
 namespace {

@@ -3,8 +3,8 @@
 // assigned ways/quota.
 #include <gtest/gtest.h>
 
-#include "cache/cache.hpp"
-#include "common/rng.hpp"
+#include "plrupart/cache/cache.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::cache {
 namespace {

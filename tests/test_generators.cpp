@@ -1,6 +1,6 @@
 // Synthetic trace generation: determinism, address-space discipline, pacing,
 // pattern semantics, phase behavior.
-#include "workloads/generators.hpp"
+#include "plrupart/workloads/generators.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,4 @@
-#include "cache/geometry.hpp"
+#include "plrupart/cache/geometry.hpp"
 
 #include <gtest/gtest.h>
 

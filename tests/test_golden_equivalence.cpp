@@ -7,8 +7,8 @@
 #include <tuple>
 #include <vector>
 
-#include "cache/cache.hpp"
-#include "common/rng.hpp"
+#include "plrupart/cache/cache.hpp"
+#include "plrupart/common/rng.hpp"
 #include "support/reference_cache.hpp"
 
 namespace plrupart {

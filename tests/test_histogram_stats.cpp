@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "common/histogram.hpp"
+#include "plrupart/common/histogram.hpp"
 #include "common/stats.hpp"
 
 namespace plrupart {

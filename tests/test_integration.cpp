@@ -2,9 +2,9 @@
 // evaluation is built on must emerge from the full stack.
 #include <gtest/gtest.h>
 
-#include "sim/cmp_simulator.hpp"
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
+#include "plrupart/sim/cmp_simulator.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
 
 namespace plrupart {
 namespace {

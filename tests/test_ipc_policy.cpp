@@ -1,9 +1,9 @@
 // IPC-objective partitioning (FlexDCP-style extension).
-#include "core/ipc_policy.hpp"
+#include "plrupart/core/ipc_policy.hpp"
 
 #include <gtest/gtest.h>
 
-#include "common/rng.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::core {
 namespace {

@@ -1,5 +1,5 @@
 // TrueLru is property-tested against an explicit recency-list reference model.
-#include "cache/lru.hpp"
+#include "plrupart/cache/lru.hpp"
 
 #include <gtest/gtest.h>
 
@@ -7,7 +7,7 @@
 #include <list>
 #include <vector>
 
-#include "common/rng.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::cache {
 namespace {

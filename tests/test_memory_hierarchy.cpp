@@ -1,4 +1,4 @@
-#include "sim/memory_hierarchy.hpp"
+#include "plrupart/sim/memory_hierarchy.hpp"
 
 #include <gtest/gtest.h>
 

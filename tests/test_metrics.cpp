@@ -1,4 +1,4 @@
-#include "metrics/metrics.hpp"
+#include "plrupart/metrics/metrics.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,6 +1,6 @@
 // MinMisses solvers: the DP is exact (checked against brute force), greedy
 // matches it on convex curves, lookahead repairs greedy's non-convex failure.
-#include "core/min_misses.hpp"
+#include "plrupart/core/min_misses.hpp"
 
 #include <gtest/gtest.h>
 
@@ -8,7 +8,7 @@
 #include <functional>
 #include <limits>
 
-#include "common/rng.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::core {
 namespace {

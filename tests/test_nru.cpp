@@ -1,10 +1,10 @@
 // NRU semantics: used bits, saturation reset, the cache-global replacement
 // pointer, and the paper's Fig. 3 profiling scenarios.
-#include "cache/nru.hpp"
+#include "plrupart/cache/nru.hpp"
 
 #include <gtest/gtest.h>
 
-#include "common/rng.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::cache {
 namespace {

@@ -4,12 +4,12 @@
 
 #include <tuple>
 
-#include "common/rng.hpp"
-#include "core/fair.hpp"
-#include "core/min_misses.hpp"
-#include "core/qos.hpp"
-#include "core/static_policy.hpp"
-#include "core/tree_rounding.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/core/fair.hpp"
+#include "plrupart/core/min_misses.hpp"
+#include "plrupart/core/qos.hpp"
+#include "plrupart/core/static_policy.hpp"
+#include "plrupart/core/tree_rounding.hpp"
 
 namespace plrupart::core {
 namespace {

@@ -1,10 +1,10 @@
 // PartitionedCacheSystem facade: configuration acronyms, wiring, partition
 // application across enforcement modes.
-#include "core/partitioned_cache.hpp"
+#include "plrupart/core/partitioned_cache.hpp"
 
 #include <gtest/gtest.h>
 
-#include "common/rng.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::core {
 namespace {

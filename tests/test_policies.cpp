@@ -1,9 +1,9 @@
 // Fair, QoS and static partition policies.
 #include <gtest/gtest.h>
 
-#include "core/fair.hpp"
-#include "core/qos.hpp"
-#include "core/static_policy.hpp"
+#include "plrupart/core/fair.hpp"
+#include "plrupart/core/qos.hpp"
+#include "plrupart/core/static_policy.hpp"
 
 namespace plrupart::core {
 namespace {

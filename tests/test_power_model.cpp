@@ -1,4 +1,4 @@
-#include "power/power_model.hpp"
+#include "plrupart/power/power_model.hpp"
 
 #include <gtest/gtest.h>
 

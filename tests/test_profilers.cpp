@@ -6,8 +6,8 @@
 #include <map>
 #include <vector>
 
-#include "common/rng.hpp"
-#include "core/profiler.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/core/profiler.hpp"
 
 namespace plrupart::core {
 namespace {

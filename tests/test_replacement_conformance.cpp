@@ -5,8 +5,8 @@
 #include <memory>
 #include <tuple>
 
-#include "cache/replacement.hpp"
-#include "common/rng.hpp"
+#include "plrupart/cache/replacement.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::cache {
 namespace {

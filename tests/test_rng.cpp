@@ -1,4 +1,4 @@
-#include "common/rng.hpp"
+#include "plrupart/common/rng.hpp"
 
 #include <gtest/gtest.h>
 

@@ -12,14 +12,14 @@
 #include <unistd.h>
 #include <vector>
 
-#include "common/assert.hpp"
-#include "runner/run_spec.hpp"
-#include "runner/sweep_executor.hpp"
-#include "sim/trace_file.hpp"
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
-#include "workloads/trace_workload.hpp"
-#include "workloads/workload_table.hpp"
+#include "plrupart/common/assert.hpp"
+#include "plrupart/runner/run_spec.hpp"
+#include "plrupart/runner/sweep_executor.hpp"
+#include "plrupart/sim/trace_file.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
+#include "plrupart/workloads/trace_workload.hpp"
+#include "plrupart/workloads/workload_table.hpp"
 
 namespace plrupart {
 namespace {

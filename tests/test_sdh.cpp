@@ -1,5 +1,5 @@
 // Stack Distance Histogram: register semantics, miss-curve identity, decay.
-#include "core/sdh.hpp"
+#include "plrupart/core/sdh.hpp"
 
 #include <gtest/gtest.h>
 

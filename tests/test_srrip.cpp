@@ -1,11 +1,11 @@
 // SRRIP extension: RRPV state machine, scoped aging, quartile estimates.
-#include "cache/srrip.hpp"
+#include "plrupart/cache/srrip.hpp"
 
 #include <gtest/gtest.h>
 
-#include "cache/cache.hpp"
-#include "common/rng.hpp"
-#include "core/partitioned_cache.hpp"
+#include "plrupart/cache/cache.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/core/partitioned_cache.hpp"
 
 namespace plrupart::cache {
 namespace {

@@ -2,7 +2,7 @@
 // handling. FileTraceSource STREAMS (O(buffer) memory, no size() — a
 // streaming source cannot know its length without a full pass); deep
 // malformed-input and large-file coverage lives in test_trace_stream.cpp.
-#include "sim/trace_file.hpp"
+#include "plrupart/sim/trace_file.hpp"
 
 #include <gtest/gtest.h>
 
@@ -11,8 +11,8 @@
 #include <fstream>
 #include <unistd.h>
 
-#include "workloads/catalog.hpp"
-#include "workloads/generators.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
 
 namespace plrupart::sim {
 namespace {

@@ -13,9 +13,9 @@
 #include <unistd.h>
 #include <vector>
 
-#include "common/rng.hpp"
-#include "sim/trace_codec.hpp"
-#include "sim/trace_file.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/sim/trace_codec.hpp"
+#include "plrupart/sim/trace_file.hpp"
 
 namespace plrupart::sim {
 namespace {

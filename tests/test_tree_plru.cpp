@@ -1,11 +1,11 @@
 // Binary-tree pseudo-LRU: promotion/victim duality, the ID-decoder profiling
 // estimate (paper Fig. 4), force-vector enforcement (paper Fig. 5) and its
 // equivalence with mask-guided traversal.
-#include "cache/tree_plru.hpp"
+#include "plrupart/cache/tree_plru.hpp"
 
 #include <gtest/gtest.h>
 
-#include "common/rng.hpp"
+#include "plrupart/common/rng.hpp"
 
 namespace plrupart::cache {
 namespace {

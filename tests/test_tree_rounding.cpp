@@ -1,13 +1,13 @@
 // Tree-feasible partitions: power-of-two rounding (Kraft equality), buddy
 // placement, and the tree-restricted MinMisses DP.
-#include "core/tree_rounding.hpp"
+#include "plrupart/core/tree_rounding.hpp"
 
 #include <gtest/gtest.h>
 
 #include <numeric>
 
-#include "common/rng.hpp"
-#include "core/min_misses.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/core/min_misses.hpp"
 
 namespace plrupart::core {
 namespace {

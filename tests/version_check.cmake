@@ -1,0 +1,48 @@
+# CTest script: assert a tool's --version output.
+#
+# Usage (see src/tools/CMakeLists.txt):
+#   cmake -DTOOL=<binary> -DTOOL_NAME=<installed name>
+#         -DCONFIG_VERSION_FILE=<build>/cmake/plrupartConfigVersion.cmake
+#         -P version_check.cmake
+#
+# The output must be exactly "<name> <semver> (git <describe>)" and <semver>
+# must equal the PACKAGE_VERSION the generated plrupartConfigVersion.cmake
+# advertises to find_package() — both sides derive from cmake/version.cmake,
+# and this gate keeps it that way.
+cmake_minimum_required(VERSION 3.20)
+
+foreach(var TOOL TOOL_NAME CONFIG_VERSION_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "version_check.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${CONFIG_VERSION_FILE}")
+  message(FATAL_ERROR "missing generated package version file: ${CONFIG_VERSION_FILE}")
+endif()
+# Sourcing the file sets PACKAGE_VERSION (the find_package() protocol).
+include("${CONFIG_VERSION_FILE}")
+if(NOT PACKAGE_VERSION MATCHES "^[0-9]+\\.[0-9]+\\.[0-9]+$")
+  message(FATAL_ERROR "plrupartConfigVersion.cmake advertises a malformed "
+                      "PACKAGE_VERSION: '${PACKAGE_VERSION}'")
+endif()
+
+execute_process(COMMAND "${TOOL}" --version
+                OUTPUT_VARIABLE out
+                RESULT_VARIABLE rc
+                OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "'${TOOL} --version' exited with ${rc}")
+endif()
+
+if(NOT out MATCHES "^${TOOL_NAME} ([0-9]+\\.[0-9]+\\.[0-9]+) \\(git [^)]+\\)$")
+  message(FATAL_ERROR "unexpected --version line from ${TOOL_NAME}: '${out}' "
+                      "(want '${TOOL_NAME} <semver> (git <describe>)')")
+endif()
+set(tool_version "${CMAKE_MATCH_1}")
+
+if(NOT tool_version STREQUAL PACKAGE_VERSION)
+  message(FATAL_ERROR "${TOOL_NAME} --version says '${tool_version}' but "
+                      "plrupartConfigVersion.cmake advertises '${PACKAGE_VERSION}'")
+endif()
+message(STATUS "${TOOL_NAME} --version == ${PACKAGE_VERSION} (ok)")
