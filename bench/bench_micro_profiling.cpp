@@ -61,7 +61,7 @@ std::vector<MissCurve> solver_curves(std::uint32_t n, std::uint32_t ways) {
     v[0] = 10000.0;
     for (std::uint32_t w = 1; w <= ways; ++w)
       v[w] = v[w - 1] * (0.75 + rng.next_double() * 0.25);
-    curves.push_back(MissCurve(std::move(v)));
+    curves.emplace_back(std::move(v));
   }
   return curves;
 }

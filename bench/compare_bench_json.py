@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Ratchet two bench snapshots (bench/snapshot_micro.py output) against each
+other.
+
+Usage:
+    compare_bench_json.py <baseline.json> <candidate.json> [--max-regress 0.15]
+                          [--min-ns 5] [--filter REGEX]
+
+Compares per-benchmark cpu_time and exits 1 if any benchmark in the candidate
+regressed by more than --max-regress (relative, default 15%) versus the
+baseline. Benchmarks present in only one snapshot are reported but do not
+fail the run (suites legitimately grow and shrink); sub---min-ns benchmarks
+are skipped since timer noise dominates there.
+
+This is a same-machine ratchet: comparing snapshots from different hosts or
+build flags is meaningless, and the tool warns (but proceeds) when the
+recorded contexts disagree on CPU or mhz_per_cpu.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+
+def load_times(path: pathlib.Path) -> tuple[dict[str, float], dict]:
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != "plrupart-bench-snapshot-v1":
+        sys.exit(f"compare_bench_json: {path} is not a snapshot_micro.py report")
+    times: dict[str, float] = {}
+    context: dict = {}
+    for suite, body in doc["suites"].items():
+        context = body.get("context", context)
+        for bench in body["benchmarks"]:
+            times[f"{suite}/{bench['name']}"] = float(bench["cpu_time"])
+    return times, context
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline", type=pathlib.Path)
+    ap.add_argument("candidate", type=pathlib.Path)
+    ap.add_argument("--max-regress", type=float, default=0.15)
+    ap.add_argument("--min-ns", type=float, default=5.0)
+    ap.add_argument("--filter", default=None)
+    args = ap.parse_args()
+
+    base, base_ctx = load_times(args.baseline)
+    cand, cand_ctx = load_times(args.candidate)
+    for key in ("num_cpus", "mhz_per_cpu"):
+        if base_ctx.get(key) != cand_ctx.get(key):
+            print(
+                f"compare_bench_json: WARNING context mismatch on {key}: "
+                f"{base_ctx.get(key)} vs {cand_ctx.get(key)} — ratios are suspect"
+            )
+
+    pattern = re.compile(args.filter) if args.filter else None
+    regressions: list[tuple[str, float, float, float]] = []
+    improved = same = skipped = 0
+    for name in sorted(base.keys() & cand.keys()):
+        if pattern and not pattern.search(name):
+            continue
+        b, c = base[name], cand[name]
+        if b < args.min_ns:
+            skipped += 1
+            continue
+        ratio = c / b
+        if ratio > 1.0 + args.max_regress:
+            regressions.append((name, b, c, ratio))
+        elif ratio < 1.0:
+            improved += 1
+        else:
+            same += 1
+
+    for name in sorted(base.keys() - cand.keys()):
+        print(f"compare_bench_json: note: dropped from candidate: {name}")
+    for name in sorted(cand.keys() - base.keys()):
+        print(f"compare_bench_json: note: new in candidate: {name}")
+
+    for name, b, c, ratio in sorted(regressions, key=lambda r: -r[3]):
+        print(
+            f"compare_bench_json: REGRESSION {name}: {b:.1f}ns -> {c:.1f}ns "
+            f"({(ratio - 1) * 100:+.1f}%, limit {args.max_regress * 100:.0f}%)"
+        )
+    print(
+        f"compare_bench_json: {len(base.keys() & cand.keys())} compared, "
+        f"{improved} improved, {same} within limit, {skipped} below {args.min_ns}ns, "
+        f"{len(regressions)} regressed"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+# Static-analysis driver target. `cmake --build build --target tidy` runs
+# clang-tidy (with the committed .clang-tidy profile, WarningsAsErrors: '*')
+# over every first-party TU in the exported compile_commands.json.
+#
+# The target only exists when clang-tidy is installed: local boxes without
+# LLVM tooling still configure and build everything else; CI's `tidy` job
+# installs clang-tidy and fails the build on any finding.
+
+find_program(PLRUPART_CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18 clang-tidy-17
+                                           clang-tidy-16 clang-tidy-15 clang-tidy-14)
+
+find_package(Python3 COMPONENTS Interpreter QUIET)
+
+if(PLRUPART_CLANG_TIDY_EXE AND Python3_Interpreter_FOUND)
+  include(ProcessorCount)
+  ProcessorCount(PLRUPART_TIDY_JOBS)
+  if(PLRUPART_TIDY_JOBS EQUAL 0)
+    set(PLRUPART_TIDY_JOBS 1)
+  endif()
+  add_custom_target(tidy
+    COMMAND ${Python3_EXECUTABLE} ${PROJECT_SOURCE_DIR}/tools/lint/run_tidy.py
+            --build-dir ${PROJECT_BINARY_DIR}
+            --clang-tidy ${PLRUPART_CLANG_TIDY_EXE}
+            --jobs ${PLRUPART_TIDY_JOBS}
+    WORKING_DIRECTORY ${PROJECT_SOURCE_DIR}
+    COMMENT "clang-tidy over first-party translation units"
+    VERBATIM
+    USES_TERMINAL)
+else()
+  message(STATUS "plrupart: clang-tidy not found; `tidy` target unavailable")
+endif()

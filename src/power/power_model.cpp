@@ -7,7 +7,7 @@ namespace plrupart::power {
 PowerModel::PowerModel(PowerParams params, cache::Geometry l2_geometry,
                        cache::ReplacementKind replacement, bool partitioned,
                        std::uint32_t cores)
-    : params_(std::move(params)),
+    : params_(params),
       geo_(l2_geometry),
       replacement_(replacement),
       partitioned_(partitioned),

@@ -74,7 +74,15 @@ int main(int argc, char** argv) {
                  "usage: plrupart-csv-compare <expected.csv> <actual.csv> [rel_tol]\n");
     return 2;
   }
-  const double rel_tol = argc == 4 ? std::stod(argv[3]) : 0.02;
+  double rel_tol = 0.02;
+  if (argc == 4) {
+    const auto parsed = parse_double(argv[3]);
+    if (!parsed) {
+      std::fprintf(stderr, "csv_compare: rel_tol '%s' is not a number\n", argv[3]);
+      return 2;
+    }
+    rel_tol = *parsed;
+  }
 
   const auto expected = read_lines(argv[1]);
   const auto actual = read_lines(argv[2]);

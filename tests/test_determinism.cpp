@@ -158,7 +158,7 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, CacheStateDeterminism,
                                            cache::ReplacementKind::kTreePlru,
                                            cache::ReplacementKind::kRandom,
                                            cache::ReplacementKind::kSrrip),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& param_info) { return to_string(param_info.param); });
 
 std::string config_name(const ::testing::TestParamInfo<const char*>& param_info) {
   std::string s = param_info.param;

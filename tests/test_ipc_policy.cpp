@@ -131,7 +131,7 @@ TEST(IpcPolicy, AllObjectivesProduceValidPartitionsOnRandomCurves) {
       v[0] = 100 + rng.next_double() * 5000;
       for (std::uint32_t w = 1; w <= 16; ++w)
         v[w] = v[w - 1] * (0.6 + rng.next_double() * 0.4);
-      curves.push_back(MissCurve(std::move(v)));
+      curves.emplace_back(std::move(v));
       IpcModel m;
       m.stall_fraction = 0.2 + rng.next_double() * 0.7;
       m.base_ipc = 1.0 + rng.next_double() * 2.0;

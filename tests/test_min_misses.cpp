@@ -49,6 +49,7 @@ TEST(MinMissesOptimal, MatchesBruteForceOnRandomCurves) {
     const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng.next_below(3));  // 2..4
     const std::uint32_t ways = 8;
     std::vector<MissCurve> curves;
+    curves.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i)
       curves.push_back(random_curve(rng, ways, 1000.0 + rng.next_double() * 9000.0));
     const auto p = min_misses_optimal(curves, ways);
@@ -92,7 +93,7 @@ TEST(MinMissesGreedy, EqualsOptimalOnConvexCurves) {
         v[w] = v[w - 1] - gain;
         gain *= 0.5 + rng.next_double() * 0.4;  // decreasing
       }
-      curves.push_back(MissCurve(std::move(v)));
+      curves.emplace_back(std::move(v));
       ASSERT_TRUE(curves.back().is_convex());
     }
     const auto pg = min_misses_greedy(curves, 8);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -44,10 +46,89 @@ TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
   EXPECT_EQ(sum.load(), 3);
 }
 
+TEST(ParallelFor, ZeroItemsIgnoresExplicitThreadCount) {
+  // n == 0 must return before any pool is built, whatever `threads` says.
+  parallel_for(
+      0, [](std::size_t) { FAIL() << "body must not run"; }, /*threads=*/64);
+}
+
+TEST(ParallelFor, TemplatedOverloadAcceptsMoveOnlyCallable) {
+  // A move-only closure cannot convert to std::function, so this exercises
+  // exactly the templated (non-type-erased) overload.
+  std::atomic<int> sum{0};
+  auto step = std::make_unique<int>(1);
+  parallel_for(
+      100, [&sum, owned = std::move(step)](std::size_t) { sum.fetch_add(*owned); },
+      /*threads=*/4);
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ParallelFor, TypeErasedOverloadCoversEveryIndex) {
+  // An lvalue std::function selects the non-template overload (exact match
+  // beats the template); the wrapper must forward every index exactly once.
+  constexpr std::size_t n = 200;
+  std::vector<std::atomic<int>> hits(n);
+  const std::function<void(std::size_t)> body = [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  };
+  parallel_for(n, body);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, TypeErasedOverloadPropagatesExceptions) {
+  const std::function<void(std::size_t)> body = [](std::size_t i) {
+    if (i == 11) throw std::out_of_range("type-erased boom");
+  };
+  EXPECT_THROW(parallel_for(64, body, /*threads=*/4), std::out_of_range);
+}
+
+TEST(ParallelFor, MoreThreadsThanItemsRunsEachItemOnce) {
+  constexpr std::size_t n = 5;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(
+      n, [&](std::size_t i) { hits[i].fetch_add(1); }, /*threads=*/32);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, WorkerExceptionDoesNotLoseCompletedWork) {
+  // Indices that ran before the failure was observed must have fully
+  // completed (joined) by the time the exception reaches the caller.
+  constexpr std::size_t n = 300;
+  std::atomic<std::size_t> completed{0};
+  try {
+    parallel_for(
+        n,
+        [&](std::size_t i) {
+          if (i == 150) throw std::runtime_error("halt");
+          completed.fetch_add(1, std::memory_order_relaxed);
+        },
+        /*threads=*/4);
+    FAIL() << "exception must propagate";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LE(completed.load(), n - 1);
+}
+
 TEST(ParallelMap, ProducesOrderedResults) {
   const auto squares =
       parallel_map<std::size_t>(100, [](std::size_t i) { return i * i; });
   for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelMap, PropagatesWorkerException) {
+  EXPECT_THROW(static_cast<void>(parallel_map<int>(
+                   50,
+                   [](std::size_t i) -> int {
+                     if (i == 7) throw std::runtime_error("map boom");
+                     return static_cast<int>(i);
+                   },
+                   /*threads=*/4)),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, ZeroItemsYieldsEmptyVector) {
+  const auto out = parallel_map<int>(0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(DefaultParallelism, AtLeastOne) { EXPECT_GE(default_parallelism(), 1U); }

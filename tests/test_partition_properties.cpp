@@ -28,7 +28,7 @@ class PartitionProperties : public ::testing::TestWithParam<Shape> {
       v[0] = 100.0 + rng.next_double() * 10000.0;
       for (std::uint32_t w = 1; w <= ways(); ++w)
         v[w] = v[w - 1] * (0.5 + rng.next_double() * 0.5);
-      curves.push_back(MissCurve(std::move(v)));
+      curves.emplace_back(std::move(v));
     }
     return curves;
   }
@@ -113,7 +113,7 @@ TEST_P(PartitionProperties, MoreTotalWaysNeverIncreasesOptimalCost) {
       v[0] = 100.0 + rng.next_double() * 10000.0;
       for (std::uint32_t w = 1; w <= 2 * ways(); ++w)
         v[w] = v[w - 1] * (0.5 + rng.next_double() * 0.5);
-      curves.push_back(MissCurve(std::move(v)));
+      curves.emplace_back(std::move(v));
     }
     const double small = partition_cost(curves, min_misses_optimal(curves, ways()));
     const double big = partition_cost(curves, min_misses_optimal(curves, 2 * ways()));

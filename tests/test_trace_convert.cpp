@@ -166,6 +166,7 @@ TEST_F(TraceConvertTest, AutoDetectRefusesHeaderlessInput) {
 TEST_F(TraceConvertTest, V1ToV2ToV1IsByteLossless) {
   Rng rng(99);
   std::vector<MemOp> ops;
+  ops.reserve(2000);
   for (std::size_t i = 0; i < 2000; ++i)
     ops.push_back(MemOp{.addr = rng.next_u64() & 0xffff'ffff'ffffu,
                         .write = rng.next_bool(0.4),

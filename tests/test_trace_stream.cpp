@@ -232,6 +232,7 @@ TEST_F(TraceStreamTest, V2IsSubstantiallySmallerThanV1) {
   // The point of v2: sequential/strided traces (the common capture shape)
   // cost a few bytes per record instead of a text line.
   std::vector<MemOp> ops;
+  ops.reserve(10'000);
   for (std::size_t i = 0; i < 10'000; ++i)
     ops.push_back(MemOp{.addr = 0x1000'0000 + 64 * i, .write = (i & 3) == 0,
                         .gap_instrs = static_cast<std::uint32_t>(i % 7)});
@@ -251,7 +252,7 @@ long vm_hwm_kib() {
   std::ifstream status("/proc/self/status");
   std::string line;
   while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) return std::stol(line.substr(6));
+    if (line.starts_with("VmHWM:")) return std::stol(line.substr(6));
   }
   return -1;
 }

@@ -88,7 +88,7 @@ TEST(MinMissesTree, NeverBeatsUnrestrictedAndAlwaysFeasible) {
       v[0] = 1000.0 + rng.next_double() * 5000.0;
       for (std::uint32_t w = 1; w <= 16; ++w)
         v[w] = v[w - 1] * (0.7 + rng.next_double() * 0.3);
-      curves.push_back(MissCurve(std::move(v)));
+      curves.emplace_back(std::move(v));
     }
     const auto tree = min_misses_tree(curves, 16);
     validate_partition(tree, 16);

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Determinism lint.
+
+The reproduction's headline guarantee is byte-identical CSV output for a given
+(trace, seed, matrix) at any thread count and shard split. That dies the day a
+code path consults wall-clock time, libc/global randomness, or an iteration
+order the standard leaves unspecified. This lint bans those constructs from
+src/ and include/ outright:
+
+  libc-rand       rand()/srand(): one hidden global stream, not replayable
+  wall-clock      time()/clock()/gettimeofday(): wall-clock state in sim code
+                  (std::chrono is fine -- it feeds --progress rates on stderr,
+                  never simulation state or CSV)
+  std-random      std::random_device / engines / distributions: unseeded or
+                  implementation-defined sequences; use common/rng.hpp
+  unordered-iter  std::unordered_{map,set,multimap,multiset}: iteration order
+                  is unspecified and WILL eventually feed a CSV/report loop;
+                  use std::map/std::vector or sort before emitting
+
+include/plrupart/common/rng.hpp is the one sanctioned randomness source and is
+exempt. A justified exception elsewhere (e.g. an unordered container that is
+provably never iterated for output) must carry the marker comment
+
+    // determinism-lint: allow(<why>)
+
+on the offending line, which this script honors and reports as a notice.
+Exit 1 on any unmarked violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+from lint_util import Violation, report, source_files, strip_comments_and_strings
+
+ALLOW_MARKER = "determinism-lint: allow"
+
+RULES = [
+    ("libc-rand", re.compile(r"\bstd::s?rand\b|(?<!_)\bs?rand\s*\("),
+     "libc rand()/srand() is a hidden global stream; use common/rng.hpp"),
+    ("wall-clock", re.compile(r"(?<!_)\btime\s*\(|\bclock\s*\(\s*\)|\bgettimeofday\b"),
+     "wall-clock time in simulation code breaks replay; derive from the sim clock"),
+    ("std-random", re.compile(
+        r"\bstd::(random_device|mt19937(_64)?|minstd_rand0?|default_random_engine|"
+        r"ranlux\w+|knuth_b|(uniform_int|uniform_real|normal|bernoulli|poisson|"
+        r"geometric|binomial|exponential|discrete)_distribution)\b"),
+     "std <random> engines/distributions are unseeded or implementation-defined; "
+     "use common/rng.hpp"),
+    ("unordered-iter", re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b"),
+     "unordered container iteration order is unspecified and must never feed "
+     "CSV/report output; use std::map/std::vector or sort before emitting"),
+]
+
+EXEMPT_SUFFIX = "include/plrupart/common/rng.hpp"
+
+
+def check_file(path: Path) -> List[Violation]:
+    raw_lines = path.read_text().splitlines()
+    clean_lines = strip_comments_and_strings(path.read_text()).splitlines()
+    violations: List[Violation] = []
+    for idx, clean in enumerate(clean_lines):
+        raw = raw_lines[idx] if idx < len(raw_lines) else ""
+        for rule, pattern, message in RULES:
+            if not pattern.search(clean):
+                continue
+            if ALLOW_MARKER in raw:
+                print(f"{path}:{idx + 1}: notice: {rule} suppressed by allow marker")
+                continue
+            violations.append(Violation(path, idx + 1, rule, message))
+    return violations
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("roots", nargs="+", type=Path,
+                    help="directories to scan (typically src/ and include/)")
+    args = ap.parse_args()
+    violations: List[Violation] = []
+    for path in source_files([r.resolve() for r in args.roots]):
+        if str(path).endswith(EXEMPT_SUFFIX):
+            continue
+        violations += check_file(path)
+    return report(violations, "check_determinism")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

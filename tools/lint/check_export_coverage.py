@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Export-coverage lint.
+
+libplrupart builds with default-hidden symbol visibility; a class or free
+function that is declared in an installed header and defined in a .cpp is
+unusable from the shared library unless the declaration carries
+PLRUPART_EXPORT. The repo convention (PR 5) is stricter and simpler to check:
+*every* namespace-scope class/struct definition in an installed header carries
+PLRUPART_EXPORT (header-only ones included -- it is a no-op for them and keeps
+the rule mechanical), and every namespace-scope non-inline, non-template free
+function declaration does too.
+
+Exempt by construction: templates (instantiated in the consumer), enums,
+forward declarations, `inline`/`constexpr`/`consteval` functions (defined in
+the header), and everything nested inside a class (covered by the class's own
+export attribute).
+
+Exit 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+from lint_util import Violation, report, strip_comments_and_strings
+
+FUNCTION_EXEMPT_RE = re.compile(
+    r"\b(inline|constexpr|consteval|template|friend|typedef|operator\s*\"\")\b"
+)
+NOT_A_FUNCTION_RE = re.compile(r"^\s*(using|typedef|static_assert|extern\s+\"C\")\b")
+CLASS_RE = re.compile(r"^\s*(?:\[\[[^\]]*\]\]\s*)*(class|struct)\b")
+
+
+def blank_preprocessor_lines(text: str) -> str:
+    return "\n".join(
+        "" if line.lstrip().startswith("#") else line for line in text.splitlines()
+    )
+
+
+def namespace_scope_statements(text: str) -> List[Tuple[int, str, str]]:
+    """Split `text` into (line, statement, opener) triples for statements at
+    namespace scope. `opener` is ';' for declarations and '{' for definitions
+    whose body was skipped (class bodies, inline function bodies)."""
+    statements: List[Tuple[int, str, str]] = []
+    scope_stack: List[str] = []  # "ns" | "type" | "other" per open brace
+    buf: List[str] = []
+    line = 1
+    stmt_line = 1
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+        at_ns_scope = all(kind == "ns" for kind in scope_stack)
+        if c == "{":
+            stmt = " ".join("".join(buf).split())
+            if at_ns_scope:
+                if stmt:
+                    statements.append((stmt_line, stmt, "{"))
+                if re.search(r"\bnamespace\b", stmt) or stmt == "extern \"C\"":
+                    scope_stack.append("ns")
+                elif re.search(r"\b(class|struct|union|enum)\b", stmt):
+                    scope_stack.append("type")
+                else:
+                    scope_stack.append("other")
+            else:
+                scope_stack.append("other")
+            buf = []
+            stmt_line = line
+        elif c == "}":
+            if scope_stack:
+                scope_stack.pop()
+            buf = []
+            stmt_line = line
+        elif c == ";":
+            if at_ns_scope:
+                stmt = " ".join("".join(buf).split())
+                if stmt:
+                    statements.append((stmt_line, stmt, ";"))
+            buf = []
+            stmt_line = line
+        else:
+            if not buf:
+                if c.isspace():
+                    i += 1
+                    continue
+                stmt_line = line
+            buf.append(c)
+        i += 1
+    return statements
+
+
+def check_header(header: Path) -> List[Violation]:
+    text = blank_preprocessor_lines(strip_comments_and_strings(header.read_text()))
+    violations: List[Violation] = []
+    for line, stmt, opener in namespace_scope_statements(text):
+        if "PLRUPART_EXPORT" in stmt or "template" in stmt.split():
+            continue
+        if opener == "{":
+            # Definitions: only class/struct bodies need the attribute; inline
+            # function bodies and enum definitions are header-complete.
+            if CLASS_RE.match(stmt) and not re.search(r"\benum\b", stmt):
+                violations.append(
+                    Violation(header, line, "export-coverage",
+                              f"class/struct definition lacks PLRUPART_EXPORT: '{stmt}'"))
+            continue
+        # Declarations ending in ';'.
+        if CLASS_RE.match(stmt) and "(" not in stmt:
+            continue  # forward declaration: the definition carries the export
+        if re.search(r"\benum\b", stmt) or NOT_A_FUNCTION_RE.match(stmt):
+            continue
+        if "(" in stmt and stmt.endswith(")") or "(" in stmt and ")" in stmt:
+            if FUNCTION_EXEMPT_RE.search(stmt):
+                continue
+            # Prototype at namespace scope with a .cpp definition somewhere.
+            violations.append(
+                Violation(header, line, "export-coverage",
+                          f"free-function declaration lacks PLRUPART_EXPORT: '{stmt}'"))
+    return violations
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--include-dir", type=Path, required=True,
+                    help="the checked-in include/plrupart directory")
+    args = ap.parse_args()
+    include_dir = args.include_dir.resolve()
+    if not include_dir.is_dir():
+        print(f"not a directory: {include_dir}", file=sys.stderr)
+        return 2
+    violations: List[Violation] = []
+    for header in sorted(include_dir.rglob("*.hpp")):
+        violations += check_header(header)
+    return report(violations, "check_export_coverage")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

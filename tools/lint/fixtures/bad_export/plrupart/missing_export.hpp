@@ -1,0 +1,34 @@
+// Deliberately-broken fixture for check_export_coverage.py: a namespace-scope
+// class definition and a free-function prototype, both destined for .cpp
+// definitions, with no PLRUPART_EXPORT. Exempt shapes (template, enum,
+// forward declaration, inline function) ride along to prove they stay quiet.
+#pragma once
+
+#include <cstdint>
+
+namespace plrupart::fixture {
+
+class ForwardDeclared;  // exempt: forward declaration
+
+enum class ExemptEnum : std::uint8_t { kA, kB };  // exempt: enum
+
+template <typename T>
+class ExemptTemplate {  // exempt: template
+ public:
+  T value{};
+};
+
+inline int exempt_inline() { return 1; }  // exempt: header-defined
+
+class MissingExport {  // export-coverage: must fire
+ public:
+  explicit MissingExport(std::uint32_t ways);
+  [[nodiscard]] std::uint32_t ways() const;
+
+ private:
+  std::uint32_t ways_;
+};
+
+[[nodiscard]] std::uint64_t missing_export_function(std::uint64_t x);  // export-coverage: must fire
+
+}  // namespace plrupart::fixture

@@ -1,0 +1,11 @@
+// Deliberately-broken fixture for check_public_headers.py's include-path
+// rule: an "installed" header reaching into the src/-internal header set and
+// into a non-existent plrupart/ path. Never compiled.
+#pragma once
+
+#include "common/cli.hpp"               // include-path: src/-internal header
+#include "plrupart/does_not_exist.hpp"  // include-path: unresolvable
+
+namespace plrupart {
+inline int bad_hygiene_fixture() { return 0; }
+}  // namespace plrupart

@@ -1,0 +1,10 @@
+// Deliberately-broken fixture for check_public_headers.py's standalone rule:
+// uses std::string without including <string>, so compiling this header on
+// its own must fail. (In a real include set another header may paper over the
+// missing include by coincidence of inclusion order -- exactly the rot the
+// standalone compile catches.)
+#pragma once
+
+namespace plrupart {
+inline std::string not_standalone_fixture() { return "broken"; }
+}  // namespace plrupart

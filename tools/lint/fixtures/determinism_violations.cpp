@@ -1,0 +1,46 @@
+// Deliberately-broken fixture for check_determinism.py: every rule must fire
+// on this file, and the allow-marker line must be reported as a notice, not a
+// violation. Never compiled; exists so test_lints_fire.py can prove the lint
+// bites.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+// NOTE: a banned token in a comment must NOT fire: rand(), time(), and
+// std::unordered_map are fine right here.
+inline int comment_only_mentions_are_fine() { return 0; }
+
+inline unsigned libc_rand_violation() {
+  return static_cast<unsigned>(rand());  // libc-rand
+}
+
+inline void libc_srand_violation() { srand(42); }  // libc-rand
+
+inline long wall_clock_violation() { return time(nullptr); }  // wall-clock
+
+inline unsigned std_random_violation() {
+  std::mt19937 gen(std::random_device{}());  // std-random (twice)
+  std::uniform_int_distribution<unsigned> dist(0, 10);  // std-random
+  return dist(gen);
+}
+
+inline std::unordered_map<int, int> unordered_iter_violation() {  // unordered-iter
+  return {};
+}
+
+// Marked exception: reported as a notice, does not fail the lint.
+inline std::size_t allowed_use(
+    const std::unordered_map<std::string, int>& index,  // determinism-lint: allow(count only, never iterated)
+    const std::string& key) {
+  return index.count(key);
+}
+
+inline int string_mentions_are_fine() {
+  return static_cast<int>(std::string("call rand() at time()").size());
+}
+
+}  // namespace fixture

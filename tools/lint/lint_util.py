@@ -1,0 +1,117 @@
+"""Shared helpers for the plrupart project lints.
+
+Each lint is a standalone script (run `python3 tools/lint/<name>.py --help`),
+registered as a CTest gate and as a CI step. They report every violation as
+
+    <file>:<line>: <rule>: <message>
+
+and exit 1 if anything fired, 0 on a clean tree. The deliberately-broken
+sources under tools/lint/fixtures/ prove each rule actually fires; the
+test_lints_fire.py self-test runs them as part of the suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, NamedTuple
+
+
+class Violation(NamedTuple):
+    path: Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def report(violations: Iterable[Violation], label: str) -> int:
+    """Print violations and return the process exit code."""
+    violations = list(violations)
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(f"{label}: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"{label}: clean")
+    return 0
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string literals, and char literals, preserving
+    newlines so line numbers survive. Keeps the lint focused on code: a banned
+    token inside a comment or a log message is not a violation."""
+    out: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments only, preserving newlines AND string
+    literals. For scanners that must still see quoted text (e.g. the
+    #include "..." path scanner)."""
+    out: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append(text[i : j + 1])
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def source_files(roots: Iterable[Path], suffixes: Iterable[str] = (".hpp", ".cpp")) -> List[Path]:
+    files: List[Path] = []
+    for root in roots:
+        for suffix in suffixes:
+            files.extend(sorted(root.rglob(f"*{suffix}")))
+    return files
+
+
+QUOTE_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+ANGLE_INCLUDE_RE = re.compile(r"^\s*#\s*include\s+<([^>]+)>", re.MULTILINE)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1

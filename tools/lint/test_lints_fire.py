@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Self-test: prove every project lint actually fires.
+
+A lint that silently passes on everything is worse than no lint -- it reads
+as certification. This script runs each tools/lint/ check against the
+deliberately-broken sources in fixtures/ and asserts (a) a failing exit code
+and (b) that every expected rule fired on the expected file, plus (c) that the
+allow-marker escape hatch suppresses without hiding.
+
+Registered as the `lint_fixtures_fire` CTest gate and run by the CI lint job.
+
+Usage: test_lints_fire.py [--cxx <compiler>]   (compiler enables the
+standalone-compile leg of the header lint fixture)
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+
+failures = []
+
+
+def run_lint(script: str, args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(HERE / script), *args], capture_output=True, text=True
+    )
+
+
+def expect(proc: subprocess.CompletedProcess, name: str, substrings: list[str]) -> None:
+    out = proc.stdout + proc.stderr
+    if proc.returncode == 0:
+        failures.append(f"{name}: expected a failing exit code, got 0. Output:\n{out}")
+        return
+    for s in substrings:
+        if s not in out:
+            failures.append(f"{name}: expected '{s}' in output. Output:\n{out}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--cxx", default="",
+                    help="compiler for the standalone-compile fixture leg (empty: skip)")
+    args = ap.parse_args()
+
+    det = run_lint("check_determinism.py", [str(FIXTURES)])
+    expect(det, "check_determinism", [
+        "libc-rand", "wall-clock", "std-random", "unordered-iter",
+        "determinism_violations.cpp",
+    ])
+    # The allow marker must suppress (not a violation) but stay visible.
+    if "notice: unordered-iter suppressed" not in det.stdout:
+        failures.append(f"check_determinism: allow marker notice missing:\n{det.stdout}")
+    # Comment/string mentions must not fire: exactly 6 violations are planted.
+    fired = [l for l in det.stdout.splitlines() if ": libc-rand:" in l or
+             ": wall-clock:" in l or ": std-random:" in l or ": unordered-iter:" in l]
+    if len(fired) != 6:
+        failures.append(
+            f"check_determinism: expected exactly 6 violations, got {len(fired)}:\n"
+            + "\n".join(fired))
+
+    hygiene_args = ["--include-dir", str(FIXTURES / "bad_include" / "plrupart"),
+                    "--src-dir", str(HERE.parent.parent / "src")]
+    if args.cxx:
+        hygiene_args += ["--cxx", args.cxx]
+    hyg = run_lint("check_public_headers.py", hygiene_args)
+    expected_hyg = ["include-path", "common/cli.hpp", "does_not_exist.hpp",
+                    "src/-internal"]
+    if args.cxx:
+        expected_hyg += ["standalone", "not_standalone.hpp"]
+    expect(hyg, "check_public_headers", expected_hyg)
+
+    exp = run_lint("check_export_coverage.py",
+                   ["--include-dir", str(FIXTURES / "bad_export" / "plrupart")])
+    expect(exp, "check_export_coverage", [
+        "export-coverage", "MissingExport", "missing_export_function",
+    ])
+    # The exempt shapes must stay quiet.
+    for quiet in ["ExemptTemplate", "ExemptEnum", "ForwardDeclared", "exempt_inline"]:
+        if quiet in exp.stdout:
+            failures.append(f"check_export_coverage: exempt shape '{quiet}' fired:\n"
+                            f"{exp.stdout}")
+
+    if failures:
+        print("\n\n".join(failures), file=sys.stderr)
+        print(f"test_lints_fire: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("test_lints_fire: all lints fire on their fixtures and stay quiet on "
+          "exempt shapes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
