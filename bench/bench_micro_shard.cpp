@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks for the set-sharded execution primitives
+// (src/sim/shard_sync.hpp): the per-op cost of the demux broadcast ring as
+// the consumer count grows, and the cost of an interval-boundary barrier
+// round-trip at the shard counts --sim-threads realistically uses.
+//
+// These are the two overheads that bound intra-run scaling: every decoded
+// trace op crosses one BroadcastRing (so its per-op cost is paid ~K times per
+// access), and every controller interval costs one full-barrier round-trip.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/shard_sync.hpp"
+
+using plrupart::sim::internal::AbortFlag;
+using plrupart::sim::internal::BroadcastRing;
+using plrupart::sim::internal::ShardBarrier;
+
+namespace {
+
+/// Payload shaped like the demux's OpRecord (16 bytes).
+struct Op {
+  std::uint64_t addr = 0;
+  std::uint32_t gap = 0;
+  std::uint8_t write = 0;
+  std::uint8_t l1_hit = 0;
+};
+
+/// Single-threaded ring cycle: one push fanned out to K consumers, all pops
+/// on the calling thread. Measures the pure bookkeeping cost of the
+/// broadcast (slot write, head publish, K cursor advances, min-tail scan)
+/// with no scheduler noise — the stable number the snapshot series tracks.
+void BM_RingBroadcastCycle(benchmark::State& state) {
+  const auto consumers = static_cast<std::uint32_t>(state.range(0));
+  AbortFlag abort;
+  BroadcastRing<Op> ring(1 << 12, consumers);
+  Op op;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    op.addr = i++;
+    ring.push(op, abort);
+    for (std::uint32_t c = 0; c < consumers; ++c)
+      benchmark::DoNotOptimize(ring.pop(c, abort).addr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(std::to_string(consumers) + "consumer");
+}
+
+/// Contended demux: a real producer thread streams ops while K consumer
+/// threads drain their cursors, exactly the sharded replay's topology.
+/// Items/second here is the demux throughput ceiling for K shards.
+void BM_DemuxThroughput(benchmark::State& state) {
+  const auto consumers = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint64_t kOps = 1 << 14;
+  for (auto _ : state) {
+    AbortFlag abort;
+    BroadcastRing<Op> ring(1 << 12, consumers);
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] {
+      Op op;
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        op.addr = i;
+        ring.push(op, abort);
+      }
+    });
+    for (std::uint32_t c = 0; c < consumers; ++c) {
+      threads.emplace_back([&, c] {
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < kOps; ++i) sum += ring.pop(c, abort).addr;
+        benchmark::DoNotOptimize(sum);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kOps));
+  state.SetLabel(std::to_string(consumers) + "consumer");
+}
+
+/// Full-barrier round-trip at K parties: the per-interval synchronization
+/// cost of the sharded replay (one critical section, everyone released).
+/// Thread spawn/join is amortized over kRounds round-trips per iteration.
+void BM_BarrierRoundTrip(benchmark::State& state) {
+  const auto parties = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint64_t kRounds = 512;
+  for (auto _ : state) {
+    AbortFlag abort;
+    ShardBarrier barrier(parties);
+    std::uint64_t merged = 0;
+    std::vector<std::thread> threads;
+    for (std::uint32_t p = 0; p < parties; ++p) {
+      threads.emplace_back([&] {
+        for (std::uint64_t r = 0; r < kRounds; ++r)
+          barrier.arrive_and_wait(abort, [&] { ++merged; });
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (merged != kRounds) state.SkipWithError("barrier critical section miscount");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kRounds));
+  state.SetLabel(std::to_string(parties) + "party");
+}
+
+}  // namespace
+
+BENCHMARK(BM_RingBroadcastCycle)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_DemuxThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BarrierRoundTrip)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

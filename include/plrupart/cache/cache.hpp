@@ -71,6 +71,12 @@ class PLRUPART_EXPORT SetAssocCache {
   /// Perform one access for `core` at byte address `addr`. Misses allocate.
   AccessOutcome access(CoreId core, Addr addr, bool write = false);
 
+  /// Same access, but the per-core counters land in `stats` instead of the
+  /// cache's own bundle. The set-sharded simulator runs each shard worker
+  /// with a private bundle (per-set state is disjoint across shards, the
+  /// counters are not) and folds the deltas back via absorb_stats().
+  AccessOutcome access(CoreId core, Addr addr, bool write, CacheStatsBundle& stats);
+
   /// Non-mutating lookup: would this access hit, and in which way?
   [[nodiscard]] AccessOutcome probe(Addr addr) const;
 
@@ -99,6 +105,9 @@ class PLRUPART_EXPORT SetAssocCache {
   [[nodiscard]] const ReplacementPolicy& policy() const noexcept { return *policy_; }
   [[nodiscard]] const CacheStatsBundle& stats() const noexcept { return stats_; }
   void reset_stats() { stats_.reset(); }
+  /// Fold externally-accumulated counters (see the stats-taking access
+  /// overload) into the cache's canonical bundle.
+  void absorb_stats(const CacheStatsBundle& delta) { stats_.absorb(delta); }
 
   /// Clear all contents, replacement state and statistics.
   void reset();
@@ -146,7 +155,8 @@ class PLRUPART_EXPORT SetAssocCache {
   /// enforcement mode, so the unpartitioned path carries no enforcement
   /// branches and the mask/quota paths fold their scope selection.
   template <EnforcementMode E, class Policy>
-  AccessOutcome access_impl(Policy& pol, CoreId core, Addr addr, bool write);
+  AccessOutcome access_impl(Policy& pol, CoreId core, Addr addr, bool write,
+                            CacheStatsBundle& stats);
 
   /// The ways `core` may search for a victim in `set` under kOwnerCounters
   /// enforcement (always non-empty). kNone/kWayMasks scopes come straight

@@ -37,14 +37,19 @@ struct PLRUPART_EXPORT RunSpec {
   /// Per-job deterministic seed (feeds trace generation and the L2's RNG).
   /// Derived from the matrix position — see RunMatrix::job_seed().
   std::uint64_t seed = 1;
+  /// Intra-run set-shard workers (SimConfig::sim_threads): 1 = serial,
+  /// 0 = hardware concurrency. Results are identical at any value, so this is
+  /// a performance knob, not part of the job's identity (key() ignores it).
+  std::uint32_t sim_threads = 1;
 
   /// Human-readable job key, unique within one matrix:
   /// "<workload>|<config>|<l2 KB>".
   [[nodiscard]] std::string key() const;
 };
 
-/// Run one job to completion. Single-threaded and deterministic: identical
-/// RunSpecs produce bit-identical SimResults on any machine.
+/// Run one job to completion. Deterministic: identical RunSpecs produce
+/// bit-identical SimResults on any machine, single-threaded or set-sharded
+/// (sim_threads).
 [[nodiscard]] PLRUPART_EXPORT sim::SimResult execute(const RunSpec& spec);
 
 /// The declarative sweep: axes × shared parameters.
@@ -62,6 +67,7 @@ struct PLRUPART_EXPORT RunMatrix {
   std::uint64_t interval_cycles = 1'000'000;
   std::uint32_t sampling_ratio = 32;
   std::uint64_t seed = 1;  ///< root seed; per-job seeds derive from it
+  std::uint32_t sim_threads = 1;  ///< intra-run set-shard workers per job
 
   /// Number of jobs in the full matrix.
   [[nodiscard]] std::size_t size() const noexcept {

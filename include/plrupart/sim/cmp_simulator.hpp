@@ -27,6 +27,15 @@ struct PLRUPART_EXPORT SimConfig {
   HierarchyConfig hierarchy;
   std::vector<CoreParams> cores;          ///< one per core (benchmark-specific)
   std::uint64_t instr_limit = 2'000'000;  ///< per-thread MEASURED instructions
+  /// Intra-run parallelism: number of set-shard workers for this run. 1 (the
+  /// default) runs the classic serial loop; 0 means hardware concurrency;
+  /// K > 1 partitions the L2 set space into K shards replayed by K workers
+  /// plus one trace-demux thread, synchronizing only at interval-controller
+  /// boundaries. Results are byte-identical to the serial path at any value.
+  /// Configurations whose replacement policy or profiler carries cache-global
+  /// state (NRU, Random) silently fall back to serial; SimResult::sim_shards
+  /// reports what actually ran.
+  std::uint32_t sim_threads = 1;
   /// Warmup: measurement windows open for ALL cores at the same wall-cycle
   /// instant — the moment the slowest core has committed this many
   /// instructions. Until then caches and the partition controller warm up
@@ -51,6 +60,7 @@ struct PLRUPART_EXPORT SimResult {
   double wall_cycles = 0.0;        ///< cycle count of the last thread to finish
   std::uint64_t repartitions = 0;  ///< interval-controller activations
   std::string l2_config;           ///< acronym of the L2 configuration
+  std::uint32_t sim_shards = 1;    ///< set-shard workers the run actually used
 
   [[nodiscard]] double throughput() const {
     double t = 0.0;
@@ -80,12 +90,17 @@ class PLRUPART_EXPORT CmpSimulator {
   /// may be a single entry (applied to all) or one entry per core.
   CmpSimulator(SimConfig config, std::vector<std::unique_ptr<TraceSource>> traces);
 
-  /// Run to completion and return per-thread results. Call once.
+  /// Run to completion and return per-thread results — serially or
+  /// set-sharded per SimConfig::sim_threads, with identical results either
+  /// way. Call once: a second call throws InvariantError (the hierarchy's
+  /// warmed-up state cannot be re-run meaningfully).
   [[nodiscard]] SimResult run();
 
   [[nodiscard]] const MemoryHierarchy& hierarchy() const noexcept { return *hierarchy_; }
 
  private:
+  [[nodiscard]] SimResult run_serial();
+
   SimConfig config_;
   std::vector<std::unique_ptr<TraceSource>> traces_;
   std::unique_ptr<MemoryHierarchy> hierarchy_;

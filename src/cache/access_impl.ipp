@@ -1,0 +1,87 @@
+// Definition of SetAssocCache::access_impl, shared by the two dispatch TUs.
+//
+// The serial hot path (3-arg access, cache.cpp) and the externalized-stats
+// path used by the set-sharded replay engine (4-arg access,
+// cache_shard_access.cpp) each instantiate the full policy x enforcement
+// matrix of this template. Keeping them in separate translation units keeps
+// the serial TU's generated code — and therefore its inlining and icache
+// behaviour — identical to when the 3-arg overload was the only caller;
+// folding both overloads into one TU measurably regressed BM_CacheAccess.
+//
+// Include only from those two TUs, after cache/policy_visit.hpp.
+
+namespace plrupart::cache {
+
+template <EnforcementMode E, class Policy>
+AccessOutcome SetAssocCache::access_impl(Policy& pol, CoreId core, Addr addr,
+                                         bool write, CacheStatsBundle& stats) {
+  PLRUPART_ASSERT(core < num_cores_);
+  const Addr la = addr >> line_shift_;
+  const std::uint64_t set = la & set_mask_;
+  const std::uint64_t tag = la >> tag_shift_;
+
+  CoreCacheStats& cs = stats.per_core[core];
+  ++cs.accesses;
+  cs.writes += static_cast<std::uint64_t>(write);
+
+  // The scope the replacement policy sees (NRU saturation resets, fills): the
+  // core's way mask under mask enforcement, the whole set otherwise. Owner
+  // counters derive their victim scope from line ownership, not from here.
+  const WayMask policy_scope =
+      E == EnforcementMode::kWayMasks ? masks_[core] : all_ways_;
+
+  // Hit path: a core may hit in any way, regardless of partitioning.
+  if (const std::uint32_t w = find_way(set, tag); w != kNoWay) {
+    ++cs.hits;
+    pol.on_hit(set, w, policy_scope);
+    AccessOutcome out;
+    out.hit = true;
+    out.way = w;
+    return out;
+  }
+
+  // Miss path.
+  ++cs.misses;
+
+  // Fill an invalid way first. Invalid lines belong to nobody, so the scan is
+  // scoped by the way mask (mask enforcement confines a core's fills) but not
+  // by ownership quotas.
+  std::uint32_t victim;
+  if (const WayMask invalid = policy_scope & ~valid_mask(set); invalid != 0) {
+    victim = mask_first(invalid);
+  } else {
+    const WayMask victim_scope = E == EnforcementMode::kOwnerCounters
+                                     ? eviction_mask(set, core)
+                                     : policy_scope;
+    victim = pol.choose_victim(set, victim_scope);
+    PLRUPART_ASSERT_MSG(mask_test(victim_scope, victim),
+                        "victim escaped the enforcement mask");
+  }
+
+  AccessOutcome out;
+  const std::uint64_t idx = set * ways_ + victim;
+  const WayMask victim_bit = WayMask{1} << victim;
+  if ((valid_mask(set) & victim_bit) != 0) {
+    const CoreId prev_owner = owner_of(set, victim);
+    out.evicted_valid = true;
+    out.evicted_line = (tags_[idx] << tag_shift_) | set;
+    out.evicted_owner = prev_owner;
+    if (prev_owner == core)
+      ++cs.self_evictions;
+    else
+      ++cs.cross_evictions;
+    owner_ways(set, prev_owner) &= ~victim_bit;
+  }
+
+  tags_[idx] = tag;
+  set_partial(set, victim, tag);
+  valid_mask(set) |= victim_bit;
+  owner_ways(set, core) |= victim_bit;
+
+  pol.on_fill(set, victim, policy_scope);
+  out.hit = false;
+  out.way = victim;
+  return out;
+}
+
+}  // namespace plrupart::cache

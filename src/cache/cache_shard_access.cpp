@@ -1,0 +1,30 @@
+#include "plrupart/cache/cache.hpp"
+
+#include "cache/policy_visit.hpp"
+
+#include "cache/access_impl.ipp"
+
+namespace plrupart::cache {
+
+// Externalized-stats access used by the set-sharded replay engine: identical
+// to the 3-arg overload except the caller supplies the stats bundle, so shard
+// workers can count into private replicas and merge at interval barriers.
+// Lives in its own TU so the serial hot path's codegen (cache.cpp) is
+// untouched by these extra access_impl instantiations — see access_impl.ipp.
+AccessOutcome SetAssocCache::access(CoreId core, Addr addr, bool write,
+                                    CacheStatsBundle& stats) {
+  return visit_policy(kind_, *policy_, [&](auto& pol) {
+    switch (enforcement_) {
+      case EnforcementMode::kWayMasks:
+        return access_impl<EnforcementMode::kWayMasks>(pol, core, addr, write, stats);
+      case EnforcementMode::kOwnerCounters:
+        return access_impl<EnforcementMode::kOwnerCounters>(pol, core, addr, write,
+                                                            stats);
+      case EnforcementMode::kNone:
+        break;
+    }
+    return access_impl<EnforcementMode::kNone>(pol, core, addr, write, stats);
+  });
+}
+
+}  // namespace plrupart::cache

@@ -27,6 +27,7 @@ sim::SimResult execute(const RunSpec& spec) {
   cfg.hierarchy.l2.seed = spec.seed;
   cfg.instr_limit = spec.instr;
   cfg.warmup_instr = spec.warmup;
+  cfg.sim_threads = spec.sim_threads;
 
   // Trace-backed workloads stream their recorded file per core (the seed
   // still feeds the L2's RNG); synthetic ones generate seeded streams.
@@ -69,6 +70,7 @@ std::vector<RunSpec> RunMatrix::expand() const {
         s.interval_cycles = interval_cycles;
         s.sampling_ratio = sampling_ratio;
         s.seed = row_seed;
+        s.sim_threads = sim_threads;
         PLRUPART_ASSERT(s.job_index == jobs.size());
         jobs.push_back(std::move(s));
       }

@@ -39,8 +39,16 @@ std::vector<JobResult> SweepExecutor::run(std::vector<RunSpec> jobs) const {
           for (const auto& th : out[i].result.threads) accesses += th.mem.l1_accesses;
           const double rate = secs > 0.0 ? static_cast<double>(accesses) / secs : 0.0;
           const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
-          std::fprintf(stderr, "plrupart: [%zu/%zu] %s done (%.1fM acc/s)\n", n, total,
-                       out[i].spec.key().c_str(), rate / 1e6);
+          if (out[i].result.sim_shards > 1) {
+            // Rate is the aggregate across the job's intra-run shard workers;
+            // surface the shard count so scaling is visible in the field.
+            std::fprintf(stderr, "plrupart: [%zu/%zu] %s done (%.1fM acc/s, %u shards)\n",
+                         n, total, out[i].spec.key().c_str(), rate / 1e6,
+                         out[i].result.sim_shards);
+          } else {
+            std::fprintf(stderr, "plrupart: [%zu/%zu] %s done (%.1fM acc/s)\n", n, total,
+                         out[i].spec.key().c_str(), rate / 1e6);
+          }
         }
       },
       opts_.threads);

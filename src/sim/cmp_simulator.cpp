@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "sim/sharded_replay.hpp"
+
 namespace plrupart::sim {
 
 CmpSimulator::CmpSimulator(SimConfig config, std::vector<std::unique_ptr<TraceSource>> traces)
@@ -18,9 +20,24 @@ CmpSimulator::CmpSimulator(SimConfig config, std::vector<std::unique_ptr<TraceSo
 }
 
 SimResult CmpSimulator::run() {
-  PLRUPART_ASSERT_MSG(!ran_, "CmpSimulator::run may be called once");
+  // Explicit call-once contract: the hierarchy (caches, profilers, the
+  // controller's partition history) is consumed by the first run, so a second
+  // run would silently produce warm-state garbage. Fail loudly instead.
+  if (ran_) {
+    throw InvariantError(
+        "CmpSimulator::run may be called once; construct a fresh simulator "
+        "for another run");
+  }
   ran_ = true;
 
+  const std::uint32_t shards = internal::resolve_sim_shards(config_);
+  if (shards > 1) {
+    return internal::run_set_sharded(config_, traces_, *hierarchy_, shards);
+  }
+  return run_serial();
+}
+
+SimResult CmpSimulator::run_serial() {
   const std::uint32_t n = hierarchy_->num_cores();
   std::vector<CoreModel> models;
   models.reserve(n);

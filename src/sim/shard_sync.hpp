@@ -1,0 +1,196 @@
+// Lock-free plumbing for the set-sharded simulator (sim/sharded_replay.cpp).
+//
+// Three pieces, all built on acquire/release atomics so the TSan tier can
+// certify the whole execution mode:
+//
+//  * BroadcastRing<T> — single-producer ring where EVERY consumer reads EVERY
+//    record (SPMC broadcast, not work distribution). The demux thread streams
+//    each core's trace into one of these; all shard workers replay the full
+//    stream so their replicated simulator state stays bit-identical.
+//  * ShardBarrier — sense-reversing barrier whose last arriver runs a critical
+//    section (the interval-boundary histogram merge + repartition) before
+//    releasing the others.
+//  * AbortFlag / ShardAbort — first-error latch. Any thread that fails raises
+//    the flag; every blocking loop polls it and bails out with ShardAbort, so
+//    one failing worker never strands the others in a spin. The driver joins
+//    everything, then rethrows the first real exception.
+//
+// Progress argument (no deadlock): every worker consumes the one global op
+// sequence in the same order. A producer blocked on a full ring implies some
+// consumer cursor lags by a full ring; that consumer is at an earlier global
+// position, and whatever IT waits on (an op record already published, an
+// outcome owned by a worker at an even earlier position, or a barrier that
+// every worker reaches at the same op) is satisfiable by induction on the
+// minimal unconsumed position.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "plrupart/common/assert.hpp"
+
+namespace plrupart::sim::internal {
+
+/// Thrown out of blocking loops when another thread already failed. Worker
+/// wrappers swallow it; only the original exception leaves the driver.
+struct ShardAbort {};
+
+/// Brief spin, then yield: boundary waits are short (microseconds) when the
+/// shards are balanced, but oversubscribed hosts (and the TSan tier) need the
+/// yield to let the thread holding the awaited state run at all.
+inline void shard_relax(std::uint32_t& spins) noexcept {
+  if (++spins >= 32) {
+    spins = 0;
+    std::this_thread::yield();
+  }
+}
+
+class AbortFlag {
+ public:
+  void raise(std::exception_ptr error) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::move(error);
+    }
+    aborted_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  /// Poll from inside any blocking loop.
+  void check() const {
+    if (aborted()) throw ShardAbort{};
+  }
+
+  /// Rethrow the first real exception, if any (call after joining all threads).
+  void rethrow_if_error() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  std::atomic<bool> aborted_{false};
+  std::mutex mutex_;
+  std::exception_ptr first_error_;
+};
+
+/// Single-producer broadcast ring: one writer publishes a totally-ordered
+/// stream, `consumers` readers each consume every record at their own pace.
+/// A slot is reusable only once every consumer has moved past it, so the
+/// producer can run at most `capacity` records ahead of the slowest reader.
+template <class T>
+class BroadcastRing {
+ public:
+  BroadcastRing(std::size_t capacity_pow2, std::uint32_t consumers)
+      : mask_(capacity_pow2 - 1), slots_(capacity_pow2), tails_(consumers) {
+    PLRUPART_ASSERT((capacity_pow2 & mask_) == 0 && capacity_pow2 >= 2);
+    PLRUPART_ASSERT(consumers >= 1);
+  }
+
+  /// Producer: true if a push would not have to wait on a lagging consumer.
+  [[nodiscard]] bool can_push() const noexcept {
+    return min_tail() + slots_.size() > head_.load(std::memory_order_relaxed);
+  }
+
+  /// Producer: publish one record, waiting for ring space if needed.
+  void push(const T& value, const AbortFlag& abort) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::uint32_t spins = 0;
+    while (min_tail() + slots_.size() <= head) {
+      abort.check();
+      shard_relax(spins);
+    }
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  /// Consumer `c`: read the next record, waiting for the producer if needed.
+  T pop(std::uint32_t c, const AbortFlag& abort) {
+    auto& tail = tails_[c].pos;
+    const std::uint64_t p = tail.load(std::memory_order_relaxed);
+    std::uint32_t spins = 0;
+    while (head_.load(std::memory_order_acquire) <= p) {
+      abort.check();
+      shard_relax(spins);
+    }
+    T value = slots_[p & mask_];
+    tail.store(p + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Producer-side self-consume: when the producing worker is also registered
+  /// as consumer `c` (outcome rings: the shard owner publishes and must not
+  /// gate its own ring), it advances its cursor without reading.
+  void skip(std::uint32_t c) noexcept {
+    tails_[c].pos.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t min_tail() const noexcept {
+    std::uint64_t m = ~std::uint64_t{0};
+    for (const auto& t : tails_) {
+      const std::uint64_t v = t.pos.load(std::memory_order_acquire);
+      if (v < m) m = v;
+    }
+    return m;
+  }
+
+  struct alignas(64) PaddedCursor {
+    std::atomic<std::uint64_t> pos{0};
+  };
+
+  std::uint64_t mask_;
+  std::vector<T> slots_;
+  std::vector<PaddedCursor> tails_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+};
+
+/// Sense-reversing barrier. The last thread to arrive runs `critical()` while
+/// everyone else is parked, then releases the generation — which is exactly
+/// the shape of the interval boundary: quiesce, merge + repartition once,
+/// resume. If `critical` throws, the error is latched in `abort` and every
+/// participant (including the thrower) leaves via ShardAbort.
+class ShardBarrier {
+ public:
+  explicit ShardBarrier(std::uint32_t parties) : parties_(parties) {
+    PLRUPART_ASSERT(parties >= 1);
+  }
+
+  template <class F>
+  void arrive_and_wait(AbortFlag& abort, F&& critical) {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      try {
+        critical();
+      } catch (const ShardAbort&) {
+      } catch (...) {
+        abort.raise(std::current_exception());
+      }
+      arrived_.store(0, std::memory_order_relaxed);
+      // acq_rel RMW: publishes the critical section's writes (and the arrival
+      // reset) to every waiter's acquire load below.
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      abort.check();
+      return;
+    }
+    std::uint32_t spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      abort.check();
+      shard_relax(spins);
+    }
+    abort.check();
+  }
+
+ private:
+  std::uint32_t parties_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace plrupart::sim::internal

@@ -1,0 +1,46 @@
+// Set-sharded execution mode of CmpSimulator (internal engine).
+//
+// Partitions the L2 set-index space into K contiguous shards and replays one
+// run on K workers plus one demux thread, synchronizing only at interval-
+// controller boundaries, with CSV-visible results byte-identical to the
+// serial path. See sharded_replay.cpp for the full replication argument.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "plrupart/sim/cmp_simulator.hpp"
+
+namespace plrupart::sim::internal {
+
+/// Test-only instrumentation points (tests/test_parallel_stress.cpp).
+struct ShardedTestHooks {
+  /// Called by a shard worker right before each L2 access it owns, with its
+  /// shard index. Throwing from here exercises the abort/join path.
+  std::function<void(std::uint32_t shard)> on_owned_access;
+};
+
+/// Can this L2 configuration run set-sharded with bit-exact results? False
+/// when the replacement policy or the profiler carries cache-global mutable
+/// state that an interleaved per-set replay cannot reproduce: NRU (one
+/// cache-wide rotating pointer), Random (one shared RNG stream), and the NRU
+/// eSDH profiler (ATD runs NRU; kSmear adds a fractional side histogram).
+[[nodiscard]] bool set_sharding_supported(const core::CpaConfig& l2);
+
+/// Shard count a run will actually use: `sim_threads` (0 = hardware
+/// concurrency) clamped to the L2 set count, collapsed to 1 when the
+/// configuration is unsupported. 1 means the serial path runs.
+[[nodiscard]] std::uint32_t resolve_sim_shards(const SimConfig& config);
+
+/// Run the set-sharded replay over an externally-built hierarchy. `shards`
+/// must come from resolve_sim_shards (>= 2). `config.cores` must already be
+/// one entry per core. Used by CmpSimulator::run() and driven directly by the
+/// stress tests (which need `hooks`).
+[[nodiscard]] SimResult run_set_sharded(
+    const SimConfig& config, const std::vector<std::unique_ptr<TraceSource>>& traces,
+    MemoryHierarchy& hierarchy, std::uint32_t shards,
+    const ShardedTestHooks* hooks = nullptr);
+
+}  // namespace plrupart::sim::internal

@@ -30,6 +30,7 @@
 // Scale-out flags:
 //   --threads N        worker threads; 0 = one per hardware thread  [0]
 //   --shard i/n        run slice i of an n-way split of the matrix
+//   --sim-threads K    intra-run set-shard workers per job; 0 = hardware  [1]
 //   --progress         per-job completion lines on stderr
 #include <algorithm>
 #include <cstdio>
@@ -95,6 +96,9 @@ void print_usage() {
       "             --line N [128]  --interval N [1000000]  --sampling N [32]\n"
       "             --seed N [1]  --csv PATH (default: stdout)\n"
       "scale-out:   --threads N [0 = all hardware threads]  --shard i/n  --progress\n"
+      "             --sim-threads K [1]  intra-run set-shard workers per job\n"
+      "                                  (0 = all hardware threads; results are\n"
+      "                                  byte-identical to serial at any K)\n"
       "other:       --version  print packaged version + git describe\n");
 }
 
@@ -174,6 +178,8 @@ runner::RunMatrix parse_matrix(const Cli& cli) {
   m.sampling_ratio =
       static_cast<std::uint32_t>(get_count(cli, "--sampling", 32, 1, kU32Max));
   m.seed = get_count(cli, "--seed", 1, 0);
+  m.sim_threads = static_cast<std::uint32_t>(
+      get_count(cli, "--sim-threads", 1, 0, kU32Max));
   return m;
 }
 
@@ -312,7 +318,7 @@ bool check_args(int argc, char** argv) {
       "--workload", "--benchmarks", "--config",   "--configs",  "--instr",
       "--warmup",   "--l2-kb",      "--l2-kb-sweep", "--assoc", "--line",
       "--interval", "--sampling",   "--seed",     "--csv",      "--threads",
-      "--shard",    "--merge-csv",  "--trace"};
+      "--shard",    "--merge-csv",  "--trace",    "--sim-threads"};
   static constexpr std::string_view kBoolFlags[] = {"--help",         "-h",
                                                     "--version",      "--list-workloads",
                                                     "--list-configs", "--progress"};

@@ -1,0 +1,127 @@
+// Throughput smoke gate for intra-run set-sharded parallelism.
+//
+// Replays one big two-core run twice — the serial loop, then the set-sharded
+// engine at 4 workers — and requires the sharded replay to deliver at least
+// 2x the serial accesses/second while producing identical results. The
+// workload is L1-hostile (large footprints, streaming) so the run is
+// dominated by the L2/profiler work the shards parallelize, not by the L1
+// probes the demux thread serializes.
+//
+// The gate needs 5 free hardware threads (4 shard workers + the demux
+// thread); on smaller hosts — including this repo's 1-core CI container tier
+// — it reports a skip and exits 0, because a 4-way run timesliced onto fewer
+// cores measures the scheduler, not the engine.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "plrupart/sim/cmp_simulator.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
+
+using namespace plrupart;
+
+namespace {
+
+constexpr double kRequiredSpeedup = 2.0;
+constexpr std::uint32_t kShards = 4;
+constexpr std::uint64_t kInstr = 1'500'000;
+constexpr std::uint64_t kWarmup = 200'000;
+
+sim::SimConfig make_config(std::uint32_t sim_threads,
+                           std::vector<std::unique_ptr<sim::TraceSource>>& traces) {
+  const std::vector<std::string> names{"art", "mcf"};
+  sim::SimConfig cfg;
+  cfg.hierarchy.l1d =
+      cache::Geometry{.size_bytes = 8 * 1024, .associativity = 2, .line_bytes = 128};
+  cfg.hierarchy.l2 = core::CpaConfig::from_acronym(
+      "M-BT", static_cast<std::uint32_t>(names.size()),
+      cache::Geometry{.size_bytes = 1024 * 1024, .associativity = 16, .line_bytes = 128});
+  cfg.instr_limit = kInstr;
+  cfg.warmup_instr = kWarmup;
+  cfg.sim_threads = sim_threads;
+  traces.clear();
+  for (std::uint32_t i = 0; i < names.size(); ++i) {
+    const auto& prof = workloads::benchmark(names[i]);
+    cfg.cores.push_back(prof.core);
+    traces.push_back(workloads::make_trace(prof, i, 11));
+  }
+  return cfg;
+}
+
+/// Wall seconds and the result, for one full run at the given worker count.
+std::pair<double, sim::SimResult> timed_run(std::uint32_t sim_threads) {
+  std::vector<std::unique_ptr<sim::TraceSource>> traces;
+  sim::SimConfig cfg = make_config(sim_threads, traces);
+  sim::CmpSimulator simulator(std::move(cfg), std::move(traces));
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::SimResult r = simulator.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double>(t1 - t0).count(), std::move(r)};
+}
+
+std::uint64_t measured_accesses(const sim::SimResult& r) {
+  std::uint64_t n = 0;
+  for (const auto& th : r.threads) n += th.mem.l1_accesses;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < kShards + 1) {
+    std::printf("perf smoke (sharded) SKIPPED: %u hardware threads < %u needed "
+                "(%u shard workers + demux); the gate runs on larger hosts\n",
+                hw, kShards + 1, kShards);
+    return 0;
+  }
+
+  // Best-of-two per side, serial first, to keep the ratio stable on busy
+  // machines without stretching the gate past its timeout.
+  double t_serial = 1e30;
+  double t_sharded = 1e30;
+  sim::SimResult serial;
+  sim::SimResult sharded;
+  for (int rep = 0; rep < 2; ++rep) {
+    auto [ts, rs] = timed_run(1);
+    if (ts < t_serial) t_serial = ts;
+    serial = std::move(rs);
+    auto [tp, rp] = timed_run(kShards);
+    if (tp < t_sharded) t_sharded = tp;
+    sharded = std::move(rp);
+  }
+
+  if (sharded.sim_shards != kShards) {
+    std::printf("perf smoke (sharded) FAILED: expected %u shards, engine ran %u\n",
+                kShards, sharded.sim_shards);
+    return 1;
+  }
+  // The speedup is meaningless if the sharded run did different work.
+  for (std::size_t i = 0; i < serial.threads.size(); ++i) {
+    if (serial.threads[i].cycles != sharded.threads[i].cycles ||
+        serial.threads[i].mem.l2_misses != sharded.threads[i].mem.l2_misses) {
+      std::printf("perf smoke (sharded) FAILED: sharded results diverge from serial "
+                  "on core %zu\n", i);
+      return 1;
+    }
+  }
+
+  const double acc = static_cast<double>(measured_accesses(serial));
+  const double speedup = t_serial / t_sharded;
+  const bool ok = speedup >= kRequiredSpeedup;
+  std::printf("serial %7.2f M acc/s, %u-shard %7.2f M acc/s, speedup %.2fx "
+              "(need >= %.2fx) %s\n",
+              acc / t_serial / 1e6, kShards, acc / t_sharded / 1e6, speedup,
+              kRequiredSpeedup, ok ? "OK" : "FAIL");
+  if (!ok) {
+    std::printf("perf smoke (sharded) FAILED: set-sharded replay lost its scaling\n");
+    return 1;
+  }
+  std::printf("perf smoke (sharded) OK\n");
+  return 0;
+}
