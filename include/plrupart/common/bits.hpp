@@ -3,11 +3,27 @@
 
 #include <bit>
 #include <cstdint>
+#include <string_view>
 #include <type_traits>
 
 #include "plrupart/common/assert.hpp"
 
 namespace plrupart {
+
+/// FNV-1a offset basis — the seed for fnv1a64 chains.
+inline constexpr std::uint64_t kFnv1a64Init = 0xcbf29ce484222325ULL;
+
+/// Fold `bytes` into a running FNV-1a 64-bit hash. Not cryptographic; used
+/// for stable content fingerprints (journal records, run-matrix identity)
+/// that must agree across platforms and runs.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                              std::uint64_t h = kFnv1a64Init) noexcept {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// True iff x is a power of two (0 is not).
 [[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {

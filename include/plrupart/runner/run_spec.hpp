@@ -52,6 +52,28 @@ struct PLRUPART_EXPORT RunSpec {
 /// (sim_threads).
 [[nodiscard]] PLRUPART_EXPORT sim::SimResult execute(const RunSpec& spec);
 
+/// Supervision knobs threaded into a single job's execution. Like
+/// RunSpec::sim_threads these are NOT part of the job's identity: they decide
+/// whether a run survives, never what it computes, so key()/fingerprints
+/// ignore them.
+struct PLRUPART_EXPORT ExecuteControls {
+  double timeout_s = 0.0;  ///< watchdog deadline (0 = none); see SimConfig
+  /// Fault plan armed on this job's trace readers (FaultSite::kRead, lane =
+  /// core) and shard workers (FaultSite::kWorker, lane = shard).
+  std::shared_ptr<const FaultPlan> faults;
+};
+
+/// execute() with a watchdog and/or fault plan attached.
+[[nodiscard]] PLRUPART_EXPORT sim::SimResult execute(const RunSpec& spec,
+                                                     const ExecuteControls& controls);
+
+/// Content fingerprint of a job list: folds every identity field of every
+/// job (position, config, workload, geometries, quotas, seed — but NOT
+/// sim_threads, which is a performance knob) into one stable 64-bit value.
+/// The journal stamps this into every record so --resume can prove the
+/// on-disk state belongs to THIS matrix and not a stale or edited one.
+[[nodiscard]] PLRUPART_EXPORT std::uint64_t jobs_fingerprint(const std::vector<RunSpec>& jobs);
+
 /// The declarative sweep: axes × shared parameters.
 struct PLRUPART_EXPORT RunMatrix {
   std::vector<std::string> configs;               ///< CpaConfig acronyms

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "plrupart/common/fault_inject.hpp"
 #include "plrupart/sim/memory_hierarchy.hpp"
 #include "plrupart/sim/mem_op.hpp"
 
@@ -45,6 +46,18 @@ struct PLRUPART_EXPORT SimConfig {
   /// SimPoint windows make warmup negligible; at this repo's trace lengths an
   /// explicit warmup is required.
   std::uint64_t warmup_instr = 0;
+  /// Watchdog: abort with TimeoutError once the run has consumed this many
+  /// wall-clock seconds (0 disables it). The serial loop polls every few
+  /// thousand ops; the sharded path latches the deadline into the AbortFlag
+  /// that every blocking loop already polls, so a wedged worker aborts and
+  /// joins cleanly instead of hanging the fleet. Wall time never feeds
+  /// simulation state — a timeout kills the run, it cannot skew its numbers.
+  double timeout_s = 0.0;
+  /// Deterministic fault plan for instrumented sites inside the simulator
+  /// (FaultSite::kWorker at owned L2 accesses of shard workers). Trace-read
+  /// faults are armed by the caller on each TraceSource; see
+  /// FileTraceSource::set_fault_plan.
+  std::shared_ptr<const FaultPlan> faults;
 };
 
 struct PLRUPART_EXPORT ThreadResult {

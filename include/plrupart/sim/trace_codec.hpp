@@ -17,12 +17,15 @@
 #include "plrupart/export.hpp"
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "plrupart/common/assert.hpp"
+#include "plrupart/common/error.hpp"
+#include "plrupart/common/fault_inject.hpp"
 
 namespace plrupart::sim {
 
@@ -33,6 +36,23 @@ class PLRUPART_EXPORT TraceError : public InvariantError {
  public:
   using InvariantError::InvariantError;
 };
+
+/// A trace read failed mid-stream (fread error that is not EINTR, or an
+/// injected read fault). Unlike TraceError — malformed data stays malformed —
+/// a failed read may well succeed on a retry, so this is TransientError and
+/// eligible for the --job-retries budget.
+class PLRUPART_EXPORT TraceIoError : public TransientError {
+ public:
+  using TransientError::TransientError;
+};
+
+namespace detail {
+struct PLRUPART_EXPORT FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace detail
 
 enum class TraceFormat : std::uint8_t {
   kTextV1,    ///< line-oriented text, human-editable
@@ -55,8 +75,17 @@ class PLRUPART_EXPORT ByteReader {
 
   ByteReader(std::string path, std::size_t buffer_bytes);
 
-  /// Next byte as 0..255, or kEof at end of file. Throws TraceError on an
-  /// I/O error (distinct from EOF).
+  /// Consult `plan` at every buffer refill (FaultSite::kRead); `lane`
+  /// distinguishes concurrent readers (e.g. per-core trace streams). The
+  /// opportunity counter is this reader's refill count, so a given plan
+  /// fails the same refill on every replay.
+  void set_fault_plan(std::shared_ptr<const FaultPlan> plan, std::uint64_t lane = 0) noexcept {
+    faults_ = std::move(plan);
+    fault_lane_ = lane;
+  }
+
+  /// Next byte as 0..255, or kEof at end of file. Throws TraceIoError on an
+  /// I/O error (distinct from EOF); interrupted reads (EINTR) are retried.
   int get() {
     if (pos_ == len_ && !fill()) return kEof;
     return static_cast<unsigned char>(buf_[pos_++]);
@@ -83,11 +112,15 @@ class PLRUPART_EXPORT ByteReader {
   [[nodiscard]] bool fill();
 
   std::string path_;
-  std::ifstream in_;
+  std::unique_ptr<std::FILE, detail::FileCloser> in_;
   std::vector<char> buf_;
   std::size_t pos_ = 0;   ///< next unread byte in buf_
   std::size_t len_ = 0;   ///< valid bytes in buf_
   std::uint64_t base_ = 0;  ///< file offset of buf_[0]
+  bool eof_ = false;        ///< a refill already hit end of file
+  std::shared_ptr<const FaultPlan> faults_;
+  std::uint64_t fault_lane_ = 0;
+  std::uint64_t fills_ = 0;  ///< refill count == fault opportunity counter
 };
 
 /// Append `v` to `out` as an LEB128 varint (1-10 bytes).

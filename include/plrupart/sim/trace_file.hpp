@@ -15,6 +15,8 @@
 #include "plrupart/export.hpp"
 
 #include <cstdint>
+#include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +42,12 @@ class PLRUPART_EXPORT TraceReader {
 
   /// Rewind to the first record (same stream again, like a fresh reader).
   void rewind();
+
+  /// Forward a fault plan to the underlying ByteReader (FaultSite::kRead at
+  /// every buffer refill); `lane` distinguishes concurrent readers.
+  void set_fault_plan(std::shared_ptr<const FaultPlan> plan, std::uint64_t lane = 0) noexcept {
+    in_.set_fault_plan(std::move(plan), lane);
+  }
 
   [[nodiscard]] TraceFormat format() const noexcept { return format_; }
   [[nodiscard]] const std::string& path() const noexcept { return in_.path(); }
@@ -80,6 +88,11 @@ class PLRUPART_EXPORT FileTraceSource final : public TraceSource {
   MemOp next() override;
   void reset() override;
   [[nodiscard]] std::string name() const override { return name_; }
+
+  /// See TraceReader::set_fault_plan.
+  void set_fault_plan(std::shared_ptr<const FaultPlan> plan, std::uint64_t lane = 0) noexcept {
+    reader_.set_fault_plan(std::move(plan), lane);
+  }
 
   [[nodiscard]] TraceFormat format() const noexcept { return reader_.format(); }
   /// Operations handed out since construction (across loops and resets).

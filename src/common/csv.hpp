@@ -21,6 +21,15 @@ class CsvWriter {
     write_row_impl(header);
   }
 
+  /// Headerless writer of `width` columns: for emitters that produce row
+  /// fragments (e.g. one job's rows for a journal record) to be concatenated
+  /// under a header written elsewhere. Byte-compatible with the headered
+  /// writer's rows by construction — same row path.
+  struct NoHeader {};
+  CsvWriter(std::ostream& os, std::size_t width, NoHeader) : os_(os), width_(width) {
+    PLRUPART_ASSERT(width_ > 0);
+  }
+
   void row(const std::vector<std::string>& values) {
     PLRUPART_ASSERT_MSG(values.size() == width_, "CSV row width mismatch");
     write_row_impl(values);

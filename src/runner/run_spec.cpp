@@ -1,9 +1,11 @@
 #include "plrupart/runner/run_spec.hpp"
 
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "plrupart/common/assert.hpp"
+#include "plrupart/common/bits.hpp"
 #include "plrupart/common/rng.hpp"
 #include "plrupart/core/partitioned_cache.hpp"
 #include "plrupart/sim/trace_file.hpp"
@@ -17,7 +19,9 @@ std::string RunSpec::key() const {
   return workload.id + "|" + config + "|" + std::to_string(l2.size_bytes / 1024);
 }
 
-sim::SimResult execute(const RunSpec& spec) {
+sim::SimResult execute(const RunSpec& spec) { return execute(spec, ExecuteControls{}); }
+
+sim::SimResult execute(const RunSpec& spec, const ExecuteControls& controls) {
   sim::SimConfig cfg;
   cfg.hierarchy.l1d = spec.l1d;
   cfg.hierarchy.l2 =
@@ -28,6 +32,8 @@ sim::SimResult execute(const RunSpec& spec) {
   cfg.instr_limit = spec.instr;
   cfg.warmup_instr = spec.warmup;
   cfg.sim_threads = spec.sim_threads;
+  cfg.timeout_s = controls.timeout_s;
+  cfg.faults = controls.faults;
 
   // Trace-backed workloads stream their recorded file per core (the seed
   // still feeds the L2's RNG); synthetic ones generate seeded streams.
@@ -35,7 +41,10 @@ sim::SimResult execute(const RunSpec& spec) {
   for (std::uint32_t core = 0; core < spec.workload.threads(); ++core) {
     if (spec.workload.trace_backed()) {
       cfg.cores.push_back(workloads::trace_core_params());
-      traces.push_back(std::make_unique<sim::FileTraceSource>(spec.workload.traces[core]));
+      auto src = std::make_unique<sim::FileTraceSource>(spec.workload.traces[core]);
+      if (controls.faults != nullptr && controls.faults->armed(FaultSite::kRead))
+        src->set_fault_plan(controls.faults, core);
+      traces.push_back(std::move(src));
     } else {
       const auto& profile = workloads::benchmark(spec.workload.benchmarks[core]);
       cfg.cores.push_back(profile.core);
@@ -44,6 +53,44 @@ sim::SimResult execute(const RunSpec& spec) {
   }
   sim::CmpSimulator sim(std::move(cfg), std::move(traces));
   return sim.run();
+}
+
+std::uint64_t jobs_fingerprint(const std::vector<RunSpec>& jobs) {
+  // Textual fold: every identity field serialized into one byte stream, then
+  // FNV-1a'd. Text (not memcpy of structs) keeps the value independent of
+  // padding, endianness, and struct layout across platforms.
+  std::string acc;
+  acc.reserve(256);
+  std::uint64_t h = fnv1a64("plrupart-jobs-v1");
+  for (const auto& s : jobs) {
+    acc.clear();
+    acc += std::to_string(s.job_index);
+    acc += '|';
+    acc += s.config;
+    acc += '|';
+    acc += s.workload.id;
+    for (const auto& b : s.workload.benchmarks) {
+      acc += ';';
+      acc += b;
+    }
+    for (const auto& t : s.workload.traces) {
+      acc += '&';
+      acc += t;
+    }
+    acc += '|';
+    acc += std::to_string(s.l1d.size_bytes) + ',' + std::to_string(s.l1d.associativity) +
+           ',' + std::to_string(s.l1d.line_bytes);
+    acc += '|';
+    acc += std::to_string(s.l2.size_bytes) + ',' + std::to_string(s.l2.associativity) +
+           ',' + std::to_string(s.l2.line_bytes);
+    acc += '|';
+    acc += std::to_string(s.instr) + ',' + std::to_string(s.warmup) + ',' +
+           std::to_string(s.interval_cycles) + ',' + std::to_string(s.sampling_ratio) +
+           ',' + std::to_string(s.seed);
+    acc += '\n';
+    h = fnv1a64(acc, h);
+  }
+  return h;
 }
 
 std::uint64_t RunMatrix::job_seed(std::size_t wi) const noexcept {

@@ -7,16 +7,91 @@
 #include <cstdio>
 #include <fstream>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <sstream>
 #include <string_view>
+#include <thread>
 #include <utility>
 
 #include "plrupart/common/assert.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/runner/journal.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/parallel.hpp"
 
 namespace plrupart::runner {
+
+namespace {
+
+/// Per-job throughput line on stderr ([n/total] <key> done ...).
+void log_progress(const JobResult& jr, std::size_t n, std::size_t total, double secs) {
+  // Simulated memory accesses per wall second for this job (counted
+  // over the measured window), so sweep throughput — the quantity the
+  // hot-path work optimizes — is visible in the field.
+  std::uint64_t accesses = 0;
+  for (const auto& th : jr.result.threads) accesses += th.mem.l1_accesses;
+  const double rate = secs > 0.0 ? static_cast<double>(accesses) / secs : 0.0;
+  if (jr.result.sim_shards > 1) {
+    // Rate is the aggregate across the job's intra-run shard workers;
+    // surface the shard count so scaling is visible in the field.
+    std::fprintf(stderr, "plrupart: [%zu/%zu] %s done (%.1fM acc/s, %u shards)\n", n,
+                 total, jr.spec.key().c_str(), rate / 1e6, jr.result.sim_shards);
+  } else {
+    std::fprintf(stderr, "plrupart: [%zu/%zu] %s done (%.1fM acc/s)\n", n, total,
+                 jr.spec.key().c_str(), rate / 1e6);
+  }
+}
+
+}  // namespace
+
+sim::SimResult SweepExecutor::run_supervised(const RunSpec& spec, RunJournal* journal,
+                                             std::size_t pos) const {
+  const std::uint32_t attempts = opts_.job_retries + 1;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      ExecuteControls controls;
+      controls.timeout_s = opts_.job_timeout_s;
+      std::shared_ptr<const FaultPlan> plan;
+      if (opts_.faults.any()) {
+        // One plan per (job, attempt): replayable — the same root seed
+        // reproduces the same faults — yet salted by attempt, so a retry is
+        // not doomed to replay the exact failure it is recovering from.
+        plan = std::make_shared<FaultPlan>(
+            opts_.faults, derive_seed(derive_seed(opts_.fault_seed, spec.job_index),
+                                      attempt));
+        controls.faults = plan;
+      }
+      sim::SimResult result = execute(spec, controls);
+      if (journal != nullptr) {
+        JobResult jr;
+        jr.spec = spec;
+        jr.result = result;
+        journal->record(pos, sweep_csv_rows(jr), plan.get());
+      }
+      return result;
+    } catch (const TransientError& e) {
+      if (attempt + 1 >= attempts) {
+        throw TransientError("job " + spec.key() + " failed after " +
+                             std::to_string(attempts) + " attempt(s); last error: " +
+                             e.what());
+      }
+      if (opts_.progress) {
+        std::fprintf(stderr, "plrupart: job %s attempt %u/%u failed (%s); retrying\n",
+                     spec.key().c_str(), attempt + 1, attempts, e.what());
+      }
+      if (opts_.retry_backoff_ms > 0) {
+        // Capped exponential backoff: transient conditions (shared-FS blips,
+        // overloaded hosts) need breathing room, but a cap keeps the worst
+        // case bounded at 32x the base.
+        const std::uint32_t shift = std::min<std::uint32_t>(attempt, 5);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::uint64_t{opts_.retry_backoff_ms} << shift));
+      }
+    }
+  }
+}
 
 std::vector<JobResult> SweepExecutor::run(std::vector<RunSpec> jobs) const {
   const std::size_t total = jobs.size();
@@ -27,32 +102,56 @@ std::vector<JobResult> SweepExecutor::run(std::vector<RunSpec> jobs) const {
       [&](std::size_t i) {
         out[i].spec = std::move(jobs[i]);
         const auto t0 = std::chrono::steady_clock::now();
-        out[i].result = execute(out[i].spec);
+        out[i].result = run_supervised(out[i].spec, nullptr, i);
         if (opts_.progress) {
           const double secs =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                   .count();
-          // Simulated memory accesses per wall second for this job (counted
-          // over the measured window), so sweep throughput — the quantity the
-          // hot-path work optimizes — is visible in the field.
-          std::uint64_t accesses = 0;
-          for (const auto& th : out[i].result.threads) accesses += th.mem.l1_accesses;
-          const double rate = secs > 0.0 ? static_cast<double>(accesses) / secs : 0.0;
-          const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
-          if (out[i].result.sim_shards > 1) {
-            // Rate is the aggregate across the job's intra-run shard workers;
-            // surface the shard count so scaling is visible in the field.
-            std::fprintf(stderr, "plrupart: [%zu/%zu] %s done (%.1fM acc/s, %u shards)\n",
-                         n, total, out[i].spec.key().c_str(), rate / 1e6,
-                         out[i].result.sim_shards);
-          } else {
-            std::fprintf(stderr, "plrupart: [%zu/%zu] %s done (%.1fM acc/s)\n", n, total,
-                         out[i].spec.key().c_str(), rate / 1e6);
-          }
+          log_progress(out[i], done.fetch_add(1, std::memory_order_relaxed) + 1, total,
+                       secs);
         }
       },
       opts_.threads);
   return out;
+}
+
+void SweepExecutor::run_csv(std::vector<RunSpec> jobs, std::ostream& os) const {
+  if (opts_.journal_dir.empty()) {
+    PLRUPART_ASSERT_MSG(!opts_.resume, "--resume requires --journal <dir>");
+    const std::vector<JobResult> results = run(std::move(jobs));
+    write_csv(os, results);
+    return;
+  }
+
+  RunJournal journal(opts_.journal_dir, jobs, opts_.resume);
+  std::vector<std::size_t> todo;
+  todo.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!journal.complete(i)) todo.push_back(i);
+  }
+  if (opts_.progress && todo.size() < jobs.size()) {
+    std::fprintf(stderr, "plrupart: resuming: %zu/%zu jobs already journaled\n",
+                 jobs.size() - todo.size(), jobs.size());
+  }
+  std::atomic<std::size_t> done{0};
+  parallel_for(
+      todo.size(),
+      [&](std::size_t k) {
+        const std::size_t i = todo[k];
+        JobResult jr;
+        jr.spec = jobs[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        jr.result = run_supervised(jr.spec, &journal, i);
+        if (opts_.progress) {
+          const double secs =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
+          log_progress(jr, done.fetch_add(1, std::memory_order_relaxed) + 1, todo.size(),
+                       secs);
+        }
+      },
+      opts_.threads);
+  journal.write_final_csv(os);
 }
 
 const std::vector<std::string>& sweep_csv_header() {
@@ -64,24 +163,40 @@ const std::vector<std::string>& sweep_csv_header() {
   return header;
 }
 
+namespace {
+
+/// The single row-formatting path: write_csv and the journal both emit
+/// through here, which is what makes a journal-assembled CSV byte-identical
+/// to a directly-written one.
+void append_job_rows(CsvWriter& csv, const JobResult& jr) {
+  const auto& s = jr.spec;
+  const auto& r = jr.result;
+  for (std::size_t core = 0; core < r.threads.size(); ++core) {
+    const auto& th = r.threads[core];
+    const double miss_rate =
+        th.mem.l2_accesses ? static_cast<double>(th.mem.l2_misses) /
+                                 static_cast<double>(th.mem.l2_accesses)
+                           : 0.0;
+    csv.row_of(s.job_index, s.workload.id, s.config, s.l2.size_bytes / 1024, s.seed,
+               core, th.benchmark, th.instructions, th.cycles, th.ipc,
+               th.mem.l1_accesses, th.mem.l1_misses, th.mem.l2_accesses,
+               th.mem.l2_misses, miss_rate, r.throughput(), r.wall_cycles,
+               r.repartitions);
+  }
+}
+
+}  // namespace
+
 void write_csv(std::ostream& os, const std::vector<JobResult>& results) {
   CsvWriter csv(os, sweep_csv_header());
-  for (const auto& jr : results) {
-    const auto& s = jr.spec;
-    const auto& r = jr.result;
-    for (std::size_t core = 0; core < r.threads.size(); ++core) {
-      const auto& th = r.threads[core];
-      const double miss_rate =
-          th.mem.l2_accesses ? static_cast<double>(th.mem.l2_misses) /
-                                   static_cast<double>(th.mem.l2_accesses)
-                             : 0.0;
-      csv.row_of(s.job_index, s.workload.id, s.config, s.l2.size_bytes / 1024, s.seed,
-                 core, th.benchmark, th.instructions, th.cycles, th.ipc,
-                 th.mem.l1_accesses, th.mem.l1_misses, th.mem.l2_accesses,
-                 th.mem.l2_misses, miss_rate, r.throughput(), r.wall_cycles,
-                 r.repartitions);
-    }
-  }
+  for (const auto& jr : results) append_job_rows(csv, jr);
+}
+
+std::string sweep_csv_rows(const JobResult& result) {
+  std::ostringstream ss;
+  CsvWriter csv(ss, sweep_csv_header().size(), CsvWriter::NoHeader{});
+  append_job_rows(csv, result);
+  return ss.str();
 }
 
 namespace {

@@ -1,8 +1,11 @@
 #include "plrupart/sim/cmp_simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <string>
 
+#include "plrupart/common/error.hpp"
 #include "sim/sharded_replay.hpp"
 
 namespace plrupart::sim {
@@ -55,7 +58,21 @@ SimResult CmpSimulator::run_serial() {
   std::vector<ThreadResult> results(n);
   std::uint32_t remaining = n;
 
+  // Watchdog: wall time is only ever compared against the deadline — it
+  // decides whether the run dies, never what the run computes.
+  const bool has_deadline = config_.timeout_s > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(has_deadline ? config_.timeout_s : 0.0));
+  std::uint64_t ops_since_poll = 0;
+
   while (remaining > 0) {
+    if (has_deadline && (++ops_since_poll & 0xfffU) == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      throw TimeoutError("simulation exceeded watchdog deadline of " +
+                         std::to_string(config_.timeout_s) + " s (serial run)");
+    }
     // Advance the core with the smallest local clock (finished cores keep
     // running to preserve contention, with frozen statistics).
     std::uint32_t core = 0;

@@ -25,13 +25,17 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "plrupart/common/assert.hpp"
+#include "plrupart/common/error.hpp"
 
 namespace plrupart::sim::internal {
 
@@ -51,7 +55,10 @@ inline void shard_relax(std::uint32_t& spins) noexcept {
 
 class AbortFlag {
  public:
-  void raise(std::exception_ptr error) {
+  /// raise() is const so polling sites holding a `const AbortFlag&` (the
+  /// rings) can latch a watchdog expiry; the latch state is mutable because
+  /// it is bookkeeping about the run, not part of any thread's result.
+  void raise(std::exception_ptr error) const {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::move(error);
@@ -59,12 +66,29 @@ class AbortFlag {
     aborted_.store(true, std::memory_order_release);
   }
 
+  /// Arm the watchdog (--job-timeout): once `deadline` passes, the next
+  /// check() latches a TimeoutError carrying `what` and every blocking loop
+  /// unwinds via ShardAbort — the same clean join path as any other failure.
+  /// Call before the worker threads start.
+  void arm_deadline(std::chrono::steady_clock::time_point deadline, std::string what) {
+    deadline_ = deadline;
+    deadline_what_ = std::move(what);
+    deadline_armed_.store(true, std::memory_order_release);
+  }
+
   [[nodiscard]] bool aborted() const noexcept {
     return aborted_.load(std::memory_order_acquire);
   }
 
-  /// Poll from inside any blocking loop.
+  /// Poll from inside any blocking loop. Samples the clock only every 64th
+  /// call so an armed deadline costs the spin loops one relaxed RMW, not a
+  /// syscall, per iteration.
   void check() const {
+    if (deadline_armed_.load(std::memory_order_acquire) &&
+        (deadline_polls_.fetch_add(1, std::memory_order_relaxed) & 0x3fU) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      raise(std::make_exception_ptr(TimeoutError(deadline_what_)));
+    }
     if (aborted()) throw ShardAbort{};
   }
 
@@ -75,9 +99,13 @@ class AbortFlag {
   }
 
  private:
-  std::atomic<bool> aborted_{false};
-  std::mutex mutex_;
-  std::exception_ptr first_error_;
+  mutable std::atomic<bool> aborted_{false};
+  mutable std::mutex mutex_;
+  mutable std::exception_ptr first_error_;
+  std::atomic<bool> deadline_armed_{false};
+  mutable std::atomic<std::uint64_t> deadline_polls_{0};
+  std::chrono::steady_clock::time_point deadline_{};
+  std::string deadline_what_;
 };
 
 /// Single-producer broadcast ring: one writer publishes a totally-ordered

@@ -39,6 +39,7 @@
 #include "sim/sharded_replay.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <string>
 #include <thread>
@@ -113,6 +114,18 @@ SimResult run_set_sharded(const SimConfig& config,
   AbortFlag abort;
   ShardBarrier barrier(shards);
   std::atomic<bool> stop{false};
+  if (config.timeout_s > 0.0) {
+    abort.arm_deadline(
+        std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(config.timeout_s)),
+        "simulation exceeded watchdog deadline of " + std::to_string(config.timeout_s) +
+            " s (set-sharded run, " + std::to_string(shards) + " shards)");
+  }
+  const FaultPlan* worker_faults =
+      config.faults != nullptr && config.faults->armed(FaultSite::kWorker)
+          ? config.faults.get()
+          : nullptr;
 
   std::vector<std::unique_ptr<BroadcastRing<OpRecord>>> op_rings;
   op_rings.reserve(n);
@@ -158,6 +171,10 @@ SimResult run_set_sharded(const SimConfig& config,
   auto producer_body = [&] {
     std::uint32_t spins = 0;
     while (!stop.load(std::memory_order_acquire) && !abort.aborted()) {
+      // The demux doubles as the watchdog's last line of defense: if every
+      // worker is wedged outside a blocking loop, this poll still expires the
+      // deadline (check() throws ShardAbort, caught by the thread wrapper).
+      abort.check();
       bool produced = false;
       for (std::uint32_t c = 0; c < n; ++c) {
         if (!op_rings[c]->can_push()) continue;
@@ -197,6 +214,7 @@ SimResult run_set_sharded(const SimConfig& config,
 
     const std::uint64_t interval = l2cfg.interval_cycles;
     std::uint64_t next_boundary = interval;  // mirrors IntervalController
+    std::uint64_t owned_ops = 0;  // this worker's kWorker fault-opportunity counter
     cache::SetAssocCache& l2cache = hierarchy.l2().l2();
     cache::CacheStatsBundle& my_stats = shard_stats[w];
 
@@ -243,6 +261,11 @@ SimResult run_set_sharded(const SimConfig& config,
 
         bool l2_hit;
         if (shard == w) {
+          if (worker_faults != nullptr) {
+            worker_faults->maybe_throw(FaultSite::kWorker, owned_ops++, w,
+                                       "shard worker " + std::to_string(w) + '/' +
+                                           std::to_string(shards));
+          }
           if (hooks != nullptr && hooks->on_owned_access) hooks->on_owned_access(w);
           l2_hit = l2cache.access(core, op.addr, op.write != 0, my_stats).hit;
           outcome_rings[w]->push(l2_hit ? 1 : 0, abort);

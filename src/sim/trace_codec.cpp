@@ -1,35 +1,58 @@
 #include "plrupart/sim/trace_codec.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <utility>
 
 namespace plrupart::sim {
 
 ByteReader::ByteReader(std::string path, std::size_t buffer_bytes)
     : path_(std::move(path)),
-      in_(path_, std::ios::binary),
+      in_(std::fopen(path_.c_str(), "rb")),
       buf_(buffer_bytes > 0 ? buffer_bytes : 1) {
-  if (!in_.good()) throw TraceError("cannot open trace file '" + path_ + "'");
+  if (in_ == nullptr) throw TraceError("cannot open trace file '" + path_ + "'");
 }
 
 bool ByteReader::fill() {
   base_ += static_cast<std::uint64_t>(len_);
   pos_ = 0;
   len_ = 0;
-  if (!in_.good()) return false;  // a previous read already hit EOF
-  in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
-  if (in_.bad())
-    throw TraceError("I/O error reading trace file '" + path_ + "' near byte " +
-                     std::to_string(base_));
-  len_ = static_cast<std::size_t>(in_.gcount());
-  return len_ > 0;
+  if (eof_) return false;
+  for (;;) {
+    if (faults_ != nullptr) {
+      faults_->maybe_throw(FaultSite::kRead, fills_++, fault_lane_,
+                           "trace file '" + path_ + "' near byte " + std::to_string(base_));
+    }
+    errno = 0;
+    const std::size_t n = std::fread(buf_.data(), 1, buf_.size(), in_.get());
+    if (n > 0) {
+      // A short count with EINTR is a partial success: hand back what we got
+      // and clear the error so the next refill resumes where this one left off.
+      if (std::ferror(in_.get()) != 0 && errno == EINTR) std::clearerr(in_.get());
+      len_ = n;
+      return true;
+    }
+    // Check ferror before feof: an interrupted read can leave both unset-able
+    // orders ambiguous, and a real error must never be misread as end of file.
+    if (std::ferror(in_.get()) != 0) {
+      if (errno == EINTR) {
+        std::clearerr(in_.get());
+        continue;  // interrupted before any bytes arrived: just retry
+      }
+      throw TraceIoError("I/O error reading trace file '" + path_ + "' near byte " +
+                         std::to_string(base_) + ": " + std::strerror(errno));
+    }
+    eof_ = true;
+    return false;
+  }
 }
 
 void ByteReader::seek(std::uint64_t file_offset) {
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(file_offset));
-  if (in_.fail())
+  std::clearerr(in_.get());
+  if (::fseeko(in_.get(), static_cast<off_t>(file_offset), SEEK_SET) != 0)
     throw TraceError("cannot seek to byte " + std::to_string(file_offset) +
                      " in trace file '" + path_ + "'");
+  eof_ = false;
   base_ = file_offset;
   pos_ = 0;
   len_ = 0;

@@ -201,7 +201,7 @@ ConvertStats convert_trace(const std::string& in_path, const std::string& out_pa
     return stats;
   } catch (...) {
     std::error_code ec;  // best effort; the original error is what matters
-    std::filesystem::remove(out_path, ec);
+    std::filesystem::remove(out_path, ec);  // determinism-lint: allow(non-throwing cleanup in catch; AtomicFile::remove_file would mask the error)
     throw;
   }
 }

@@ -32,19 +32,32 @@
 //   --shard i/n        run slice i of an n-way split of the matrix
 //   --sim-threads K    intra-run set-shard workers per job; 0 = hardware  [1]
 //   --progress         per-job completion lines on stderr
+//
+// Resilience flags:
+//   --journal DIR      durable per-job journal; crash-safe atomic records
+//   --resume           skip jobs already journaled in --journal DIR
+//   --job-retries N    extra attempts for transient per-job failures  [0]
+//   --retry-backoff-ms B  base of the capped exponential backoff      [100]
+//   --job-timeout S    per-job watchdog deadline in seconds; 0 = none [0]
+//   --fault-inject SPEC  deterministic fault injection, e.g. read:0.01
+//                      (also via the PLRUPART_FAULT_INJECT environment
+//                      variable; the flag wins)
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <system_error>
 #include <utility>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/cli.hpp"
 #include "plrupart/common/assert.hpp"
 #include "plrupart/core/partitioned_cache.hpp"
@@ -99,6 +112,14 @@ void print_usage() {
       "             --sim-threads K [1]  intra-run set-shard workers per job\n"
       "                                  (0 = all hardware threads; results are\n"
       "                                  byte-identical to serial at any K)\n"
+      "resilience:  --journal DIR   crash-safe per-job journal (atomic records)\n"
+      "             --resume        continue a journaled sweep, skipping done jobs\n"
+      "             --job-retries N [0]  extra attempts for transient failures\n"
+      "             --retry-backoff-ms B [100]  backoff base between attempts\n"
+      "             --job-timeout S [0 = none]  per-job watchdog in seconds\n"
+      "             --fault-inject SITE:P[,SITE:P...]  deterministic fault\n"
+      "                             injection; sites read, write, worker (also\n"
+      "                             via PLRUPART_FAULT_INJECT; the flag wins)\n"
       "other:       --version  print packaged version + git describe\n");
 }
 
@@ -183,18 +204,29 @@ runner::RunMatrix parse_matrix(const Cli& cli) {
   return m;
 }
 
-/// Open --csv for writing, or return nullopt for stdout. Opened (and
-/// truncated) up front, BEFORE any simulation work: an unwritable path must
-/// fail in milliseconds, not after a multi-hour sweep has produced results
-/// with nowhere to go.
-std::optional<std::ofstream> open_output(const Cli& cli) {
-  const auto csv_path = cli.get_string("--csv", "-");
-  if (csv_path == "-") return std::nullopt;
-  std::ofstream file(csv_path);
-  PLRUPART_ASSERT_MSG(static_cast<bool>(file),
-                      "cannot open '" + csv_path + "' for writing");
-  return file;
-}
+/// --csv output with crash-safe publication. The writability of the path is
+/// probed up front, BEFORE any simulation work: an unwritable path must fail
+/// in milliseconds, not after a multi-hour sweep has produced results with
+/// nowhere to go. Rows are buffered and published atomically (tmp + fsync +
+/// rename) on finish(), so a crash mid-sweep can never leave a truncated,
+/// plausible-looking CSV — the old file (if any) survives intact instead.
+class CsvOutput {
+ public:
+  explicit CsvOutput(const Cli& cli) : path_(cli.get_string("--csv", "-")) {
+    if (!to_stdout()) AtomicFile::probe_writable(path_);
+  }
+  [[nodiscard]] std::ostream& stream() {
+    return to_stdout() ? static_cast<std::ostream&>(std::cout) : buf_;
+  }
+  void finish() {
+    if (!to_stdout()) AtomicFile::write_file(path_, buf_.str());
+  }
+
+ private:
+  [[nodiscard]] bool to_stdout() const noexcept { return path_ == "-"; }
+  std::string path_;
+  std::ostringstream buf_;
+};
 
 int merge(const Cli& cli) {
   const auto paths = split_list(cli.get_string("--merge-csv", ""));
@@ -214,9 +246,21 @@ int merge(const Cli& cli) {
                               "shard data");
     }
   }
-  auto file = open_output(cli);
-  runner::merge_csv(paths, file ? *file : std::cout);
+  CsvOutput out(cli);
+  runner::merge_csv(paths, out.stream());
+  out.finish();
   return 0;
+}
+
+/// Fault spec from --fault-inject or the PLRUPART_FAULT_INJECT environment
+/// variable (the flag wins); all-zero when neither is set.
+FaultSpec parse_faults(const Cli& cli) {
+  std::string text = cli.get_string("--fault-inject", "");
+  if (text.empty()) {
+    if (const char* env = std::getenv("PLRUPART_FAULT_INJECT")) text = env;
+  }
+  if (text.empty()) return FaultSpec{};
+  return FaultSpec::parse(text);
 }
 
 int run(const Cli& cli) {
@@ -299,14 +343,26 @@ int run(const Cli& cli) {
     jobs = matrix.expand();
   }
 
+  constexpr auto kU32Max = std::numeric_limits<std::uint32_t>::max();
   runner::SweepOptions opts;
-  opts.threads = static_cast<std::size_t>(
-      get_count(cli, "--threads", 0, 0, std::numeric_limits<std::uint32_t>::max()));
+  opts.threads = static_cast<std::size_t>(get_count(cli, "--threads", 0, 0, kU32Max));
   opts.progress = cli.has("--progress");
+  opts.job_retries =
+      static_cast<std::uint32_t>(get_count(cli, "--job-retries", 0, 0, 1000));
+  opts.retry_backoff_ms =
+      static_cast<std::uint32_t>(get_count(cli, "--retry-backoff-ms", 100, 0, kU32Max));
+  opts.job_timeout_s = cli.get_double("--job-timeout", 0.0);
+  PLRUPART_ASSERT_MSG(opts.job_timeout_s >= 0.0, "--job-timeout must be >= 0");
+  opts.journal_dir = cli.get_string("--journal", "");
+  opts.resume = cli.has("--resume");
+  PLRUPART_ASSERT_MSG(!opts.resume || !opts.journal_dir.empty(),
+                      "--resume requires --journal <dir>");
+  opts.faults = parse_faults(cli);
+  opts.fault_seed = matrix.seed;  // fault plans replay from the root seed
 
-  auto file = open_output(cli);  // fail on a bad --csv path before simulating
-  const auto results = runner::SweepExecutor(opts).run(std::move(jobs));
-  runner::write_csv(file ? *file : std::cout, results);
+  CsvOutput out(cli);  // fail on a bad --csv path before simulating
+  runner::SweepExecutor(opts).run_csv(std::move(jobs), out.stream());
+  out.finish();
   return 0;
 }
 
@@ -318,10 +374,13 @@ bool check_args(int argc, char** argv) {
       "--workload", "--benchmarks", "--config",   "--configs",  "--instr",
       "--warmup",   "--l2-kb",      "--l2-kb-sweep", "--assoc", "--line",
       "--interval", "--sampling",   "--seed",     "--csv",      "--threads",
-      "--shard",    "--merge-csv",  "--trace",    "--sim-threads"};
+      "--shard",    "--merge-csv",  "--trace",    "--sim-threads",
+      "--journal",  "--job-retries", "--retry-backoff-ms", "--job-timeout",
+      "--fault-inject"};
   static constexpr std::string_view kBoolFlags[] = {"--help",         "-h",
                                                     "--version",      "--list-workloads",
-                                                    "--list-configs", "--progress"};
+                                                    "--list-configs", "--progress",
+                                                    "--resume"};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto name = arg.substr(0, arg.find('='));

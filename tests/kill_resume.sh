@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Crash/recovery gate for the resilience layer, run as the cli_kill_resume
+# CTest test (Linux/macOS only; see src/tools/CMakeLists.txt).
+#
+# Proves, with a real SIGKILL and real processes, the headline guarantees:
+#
+#   1. A journaled sweep killed mid-flight leaves only durable per-job records
+#      (no partial CSV), and --resume replays exactly the missing jobs to a
+#      final CSV byte-identical to an uninterrupted run.
+#   2. Journal misuse fails loudly: fresh run over an existing journal,
+#      resume with a different matrix.
+#   3. Injected faults (read/write/worker sites, --fault-inject) plus
+#      --job-retries recover to byte-identical CSVs; an exhausted retry
+#      budget surfaces the last error; PLRUPART_FAULT_INJECT is honored and
+#      the flag overrides it.
+#
+# Usage: kill_resume.sh <plrupart-cli> <work-dir>
+set -u
+
+CLI=$1
+WORK=$2
+
+die() { echo "kill_resume: FAIL: $*" >&2; exit 1; }
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK" || die "cannot enter $WORK"
+
+# Two sweeps over the same matrix axes: a slow one (jobs take long enough for
+# a SIGKILL to land mid-flight) and a quick one for the fault-injection legs.
+AXES=(--workload 2T_01,2T_02 --configs NOPART-L,M-BT --l2-kb-sweep 128,256
+      --interval 40000 --threads 1)
+SLOW=("${AXES[@]}" --seed 7 --instr 2000000)
+QUICK=("${AXES[@]}" --seed 7 --instr 200000)
+
+# --- 1. Kill/resume round-trip -------------------------------------------
+
+"$CLI" "${SLOW[@]}" --csv base_slow.csv || die "baseline (slow) run failed"
+[ -s base_slow.csv ] || die "baseline CSV missing or empty"
+
+"$CLI" "${SLOW[@]}" --journal j_full --csv full.csv || die "journaled run failed"
+cmp -s base_slow.csv full.csv || die "journaled CSV differs from the plain run"
+
+"$CLI" "${SLOW[@]}" --journal j_kill --csv kill.csv &
+pid=$!
+for _ in $(seq 1 1000); do
+  n=$(ls j_kill/job-*.rec 2>/dev/null | wc -l)
+  [ "$n" -ge 2 ] && break
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.02
+done
+killed=1
+kill -0 "$pid" 2>/dev/null || killed=0
+kill -KILL "$pid" 2>/dev/null
+wait "$pid" 2>/dev/null
+n=$(ls j_kill/job-*.rec 2>/dev/null | wc -l)
+[ "$n" -ge 1 ] || die "no durable journal records before the kill; nothing to resume"
+if [ "$killed" -eq 1 ]; then
+  [ -e kill.csv ] && die "a SIGKILLed sweep published a CSV (atomic output broken)"
+else
+  echo "kill_resume: note: the sweep outran the kill; resume leg degrades to 8/8" >&2
+fi
+
+"$CLI" "${SLOW[@]}" --journal j_kill --resume --progress --csv resumed.csv \
+    2>resume.err || { cat resume.err >&2; die "resume failed"; }
+cmp -s base_slow.csv resumed.csv || die "resumed CSV is not byte-identical to baseline"
+if [ "$killed" -eq 1 ]; then
+  grep -q "resuming:" resume.err || die "resume did not report already-journaled jobs"
+fi
+
+# --- 2. Journal misuse must fail loudly ----------------------------------
+
+"$CLI" "${SLOW[@]}" --journal j_kill --csv nope.csv 2>fresh.err &&
+  die "fresh run over an existing journal must be refused"
+grep -q -- "--resume" fresh.err || die "journal-reuse error does not mention --resume"
+
+"$CLI" "${AXES[@]}" --seed 8 --instr 2000000 --journal j_kill --resume \
+    --csv nope.csv 2>stale.err && die "resume with a different matrix must be refused"
+grep -q "fingerprint" stale.err || die "matrix-mismatch error does not name fingerprints"
+
+# --- 3. Fault injection + retries: byte-identical recovery ---------------
+
+"$CLI" "${QUICK[@]}" --csv base_quick.csv || die "baseline (quick) run failed"
+
+for spec in read:0.05 write:0.5 read:0.02,write:0.3; do
+  out="fault_$(echo "$spec" | tr ':,' '__').csv"
+  "$CLI" "${QUICK[@]}" --fault-inject "$spec" --job-retries 12 --retry-backoff-ms 0 \
+      --journal "j_$out" --csv "$out" || die "fault run '$spec' did not recover"
+  cmp -s base_quick.csv "$out" || die "fault run '$spec' changed the CSV"
+done
+
+"$CLI" "${QUICK[@]}" --sim-threads 2 --fault-inject worker:0.0000005 --job-retries 12 \
+    --retry-backoff-ms 0 --csv worker_fault.csv || die "worker-fault run did not recover"
+cmp -s base_quick.csv worker_fault.csv || die "worker-fault run changed the CSV"
+
+# Write faults hit the supervised (retryable) journal-record commits, so the
+# exhaustion and env legs run journaled.
+"$CLI" "${QUICK[@]}" --fault-inject write:1 --job-retries 2 --retry-backoff-ms 0 \
+    --journal j_exhaust --csv never.csv 2>exhaust.err &&
+  die "p=1 write faults must exhaust the retry budget"
+grep -q "failed after 3 attempt(s)" exhaust.err ||
+  die "retry exhaustion does not surface the attempt count"
+grep -q "injected write fault" exhaust.err ||
+  die "retry exhaustion does not surface the last error"
+[ -e never.csv ] && die "a failed sweep published a CSV"
+
+PLRUPART_FAULT_INJECT=write:1 "$CLI" "${QUICK[@]}" --journal j_env --csv env.csv \
+    2>/dev/null && die "PLRUPART_FAULT_INJECT was ignored"
+PLRUPART_FAULT_INJECT=write:1 "$CLI" "${QUICK[@]}" --fault-inject read:0 \
+    --csv flag_wins.csv || die "--fault-inject must override PLRUPART_FAULT_INJECT"
+cmp -s base_quick.csv flag_wins.csv || die "flag-override run changed the CSV"
+
+echo "kill_resume: all resilience gates passed"

@@ -16,10 +16,17 @@ src/ and include/ outright:
   unordered-iter  std::unordered_{map,set,multimap,multiset}: iteration order
                   is unspecified and WILL eventually feed a CSV/report loop;
                   use std::map/std::vector or sort before emitting
+  atomic-file     raw std::rename/std::remove/std::filesystem::{rename,remove}
+                  and fopen in a write mode: output published outside the
+                  blessed AtomicFile utility (src/common/atomic_file.hpp) can
+                  be left truncated-but-plausible by a crash; route file
+                  publication and deletion through AtomicFile
 
 include/plrupart/common/rng.hpp is the one sanctioned randomness source and is
-exempt. A justified exception elsewhere (e.g. an unordered container that is
-provably never iterated for output) must carry the marker comment
+exempt; src/common/atomic_file.{hpp,cpp} is the one sanctioned rename/remove
+site and is exempt from the atomic-file rule. A justified exception elsewhere
+(e.g. an unordered container that is provably never iterated for output) must
+carry the marker comment
 
     // determinism-lint: allow(<why>)
 
@@ -35,7 +42,8 @@ import sys
 from pathlib import Path
 from typing import List
 
-from lint_util import Violation, report, source_files, strip_comments_and_strings
+from lint_util import (Violation, report, source_files, strip_comments,
+                       strip_comments_and_strings)
 
 ALLOW_MARKER = "determinism-lint: allow"
 
@@ -53,24 +61,48 @@ RULES = [
     ("unordered-iter", re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b"),
      "unordered container iteration order is unspecified and must never feed "
      "CSV/report output; use std::map/std::vector or sort before emitting"),
+    ("atomic-file",
+     re.compile(r"\bstd::(filesystem::)?(rename|remove|remove_all)\s*\("),
+     "raw rename/remove bypasses crash-safe output publication; route file "
+     "publication and deletion through AtomicFile (src/common/atomic_file.hpp)"),
+]
+
+# Rules that must see string literals (fopen's mode argument lives in one):
+# matched against comment-stripped but string-PRESERVING lines.
+STRING_RULES = [
+    ("atomic-file",
+     re.compile(r'\bfopen\s*\([^;]*,\s*"(?:[wa]|r[bt]*\+)[^"]*"'),
+     "fopen in a write mode bypasses crash-safe output publication; write "
+     "through AtomicFile (src/common/atomic_file.hpp)"),
 ]
 
 EXEMPT_SUFFIX = "include/plrupart/common/rng.hpp"
 
+# Per-rule sanctioned implementation sites.
+RULE_EXEMPT_SUFFIXES = {
+    "atomic-file": ("src/common/atomic_file.hpp", "src/common/atomic_file.cpp"),
+}
+
 
 def check_file(path: Path) -> List[Violation]:
-    raw_lines = path.read_text().splitlines()
-    clean_lines = strip_comments_and_strings(path.read_text()).splitlines()
+    text = path.read_text()
+    raw_lines = text.splitlines()
+    clean_lines = strip_comments_and_strings(text).splitlines()
+    string_lines = strip_comments(text).splitlines()
     violations: List[Violation] = []
-    for idx, clean in enumerate(clean_lines):
-        raw = raw_lines[idx] if idx < len(raw_lines) else ""
-        for rule, pattern, message in RULES:
-            if not pattern.search(clean):
-                continue
-            if ALLOW_MARKER in raw:
-                print(f"{path}:{idx + 1}: notice: {rule} suppressed by allow marker")
-                continue
-            violations.append(Violation(path, idx + 1, rule, message))
+    for idx, raw in enumerate(raw_lines):
+        for lines, rules in ((clean_lines, RULES), (string_lines, STRING_RULES)):
+            line = lines[idx] if idx < len(lines) else ""
+            for rule, pattern, message in rules:
+                if not pattern.search(line):
+                    continue
+                if any(str(path).endswith(s)
+                       for s in RULE_EXEMPT_SUFFIXES.get(rule, ())):
+                    continue
+                if ALLOW_MARKER in raw:
+                    print(f"{path}:{idx + 1}: notice: {rule} suppressed by allow marker")
+                    continue
+                violations.append(Violation(path, idx + 1, rule, message))
     return violations
 
 

@@ -2,8 +2,10 @@
 // on this file, and the allow-marker line must be reported as a notice, not a
 // violation. Never compiled; exists so test_lints_fire.py can prove the lint
 // bites.
+#include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <filesystem>
 #include <random>
 #include <string>
 #include <unordered_map>
@@ -41,6 +43,27 @@ inline std::size_t allowed_use(
 
 inline int string_mentions_are_fine() {
   return static_cast<int>(std::string("call rand() at time()").size());
+}
+
+inline void raw_rename_violation() {
+  std::rename("sweep.csv.tmp", "sweep.csv");  // atomic-file
+}
+
+inline bool raw_remove_violation(const std::filesystem::path& p) {
+  return std::filesystem::remove(p);  // atomic-file
+}
+
+inline std::FILE* fopen_write_violation() {
+  return std::fopen("out.csv", "wb");  // atomic-file
+}
+
+// Read-only fopen must NOT fire: only write/append/update modes are banned.
+inline std::FILE* fopen_read_only_is_fine() { return std::fopen("in.trace", "rb"); }
+
+// Marked exception: best-effort cleanup in a catch block must not throw.
+inline void allowed_cleanup(const std::filesystem::path& p) {
+  std::error_code ec;
+  std::filesystem::remove(p, ec);  // determinism-lint: allow(best-effort, may not throw)
 }
 
 }  // namespace fixture

@@ -50,18 +50,22 @@ def main() -> int:
 
     det = run_lint("check_determinism.py", [str(FIXTURES)])
     expect(det, "check_determinism", [
-        "libc-rand", "wall-clock", "std-random", "unordered-iter",
+        "libc-rand", "wall-clock", "std-random", "unordered-iter", "atomic-file",
         "determinism_violations.cpp",
     ])
     # The allow marker must suppress (not a violation) but stay visible.
-    if "notice: unordered-iter suppressed" not in det.stdout:
-        failures.append(f"check_determinism: allow marker notice missing:\n{det.stdout}")
-    # Comment/string mentions must not fire: exactly 6 violations are planted.
+    for notice in ["notice: unordered-iter suppressed", "notice: atomic-file suppressed"]:
+        if notice not in det.stdout:
+            failures.append(f"check_determinism: allow marker notice missing "
+                            f"('{notice}'):\n{det.stdout}")
+    # Comment/string mentions and read-mode fopen must not fire: exactly 9
+    # violations are planted.
     fired = [l for l in det.stdout.splitlines() if ": libc-rand:" in l or
-             ": wall-clock:" in l or ": std-random:" in l or ": unordered-iter:" in l]
-    if len(fired) != 6:
+             ": wall-clock:" in l or ": std-random:" in l or
+             ": unordered-iter:" in l or ": atomic-file:" in l]
+    if len(fired) != 9:
         failures.append(
-            f"check_determinism: expected exactly 6 violations, got {len(fired)}:\n"
+            f"check_determinism: expected exactly 9 violations, got {len(fired)}:\n"
             + "\n".join(fired))
 
     hygiene_args = ["--include-dir", str(FIXTURES / "bad_include" / "plrupart"),
