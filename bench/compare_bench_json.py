@@ -12,6 +12,13 @@ baseline. Benchmarks present in only one snapshot are reported but do not
 fail the run (suites legitimately grow and shrink); sub---min-ns benchmarks
 are skipped since timer noise dominates there.
 
+Exits 2 (usage/setup error, distinct from a measured regression) when a
+snapshot is missing or unparsable, or when the comparison is vacuous -- no
+benchmark name survives the intersection and --filter. A ratchet that
+compares zero benchmarks and reports success would certify nothing; this
+happened silently before the check (e.g. a typo'd --filter, or a baseline
+captured from a different suite set).
+
 This is a same-machine ratchet: comparing snapshots from different hosts or
 build flags is meaningless, and the tool warns (but proceeds) when the
 recorded contexts disagree on CPU or mhz_per_cpu.
@@ -25,10 +32,23 @@ import re
 import sys
 
 
+def fail(msg: str) -> None:
+    """Setup/usage error: exit 2, distinct from exit 1 (measured regression)."""
+    print(f"compare_bench_json: error: {msg}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def load_times(path: pathlib.Path) -> tuple[dict[str, float], dict]:
-    doc = json.loads(path.read_text())
+    try:
+        text = path.read_text()
+    except OSError as e:
+        fail(f"cannot read snapshot {path}: {e}")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
     if doc.get("schema") != "plrupart-bench-snapshot-v1":
-        sys.exit(f"compare_bench_json: {path} is not a snapshot_micro.py report")
+        fail(f"{path} is not a snapshot_micro.py report")
     times: dict[str, float] = {}
     context: dict = {}
     for suite, body in doc["suites"].items():
@@ -58,10 +78,11 @@ def main() -> int:
 
     pattern = re.compile(args.filter) if args.filter else None
     regressions: list[tuple[str, float, float, float]] = []
-    improved = same = skipped = 0
+    compared = improved = same = skipped = 0
     for name in sorted(base.keys() & cand.keys()):
         if pattern and not pattern.search(name):
             continue
+        compared += 1
         b, c = base[name], cand[name]
         if b < args.min_ns:
             skipped += 1
@@ -74,6 +95,14 @@ def main() -> int:
         else:
             same += 1
 
+    if compared == 0:
+        fail(
+            "vacuous comparison: no benchmark name is in both snapshots"
+            + (f" and matches --filter {args.filter!r}" if args.filter else "")
+            + f" ({len(base)} baseline, {len(cand)} candidate names); "
+            "a ratchet over zero benchmarks certifies nothing"
+        )
+
     for name in sorted(base.keys() - cand.keys()):
         print(f"compare_bench_json: note: dropped from candidate: {name}")
     for name in sorted(cand.keys() - base.keys()):
@@ -85,7 +114,7 @@ def main() -> int:
             f"({(ratio - 1) * 100:+.1f}%, limit {args.max_regress * 100:.0f}%)"
         )
     print(
-        f"compare_bench_json: {len(base.keys() & cand.keys())} compared, "
+        f"compare_bench_json: {compared} compared, "
         f"{improved} improved, {same} within limit, {skipped} below {args.min_ns}ns, "
         f"{len(regressions)} regressed"
     )

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Self-test: prove the bench ratchet (compare_bench_json.py) actually fires.
+
+A ratchet that exits 0 on garbage input certifies nothing -- and this one
+historically did: a missing baseline died with a raw traceback, and two
+snapshots with no benchmark names in common "compared" zero benchmarks and
+passed. This script runs the comparator against small synthetic snapshots and
+asserts every outcome: the pass, the regression failure (exit 1), and each
+setup failure (exit 2, with a diagnostic naming the cause).
+
+Registered as the `bench_compare_fire` CTest gate, mirroring
+tools/lint/test_lints_fire.py.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+COMPARE = HERE / "compare_bench_json.py"
+
+failures: list[str] = []
+
+
+def snapshot(benches: dict[str, float], num_cpus: int = 4) -> dict:
+    return {
+        "schema": "plrupart-bench-snapshot-v1",
+        "suites": {
+            "bench_micro_policies": {
+                "context": {"num_cpus": num_cpus, "mhz_per_cpu": 3000},
+                "benchmarks": [
+                    {"name": n, "cpu_time": t} for n, t in benches.items()
+                ],
+            }
+        },
+    }
+
+
+def run(workdir: Path, base: dict | str | None, cand: dict, *extra: str
+        ) -> subprocess.CompletedProcess:
+    base_path = workdir / "base.json"
+    cand_path = workdir / "cand.json"
+    if isinstance(base, dict):
+        base_path.write_text(json.dumps(base))
+    elif isinstance(base, str):
+        base_path.write_text(base)
+    else:
+        base_path.unlink(missing_ok=True)
+    cand_path.write_text(json.dumps(cand))
+    return subprocess.run(
+        [sys.executable, str(COMPARE), str(base_path), str(cand_path), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+def expect(proc: subprocess.CompletedProcess, name: str, code: int,
+           substrings: list[str]) -> None:
+    out = proc.stdout + proc.stderr
+    if proc.returncode != code:
+        failures.append(
+            f"{name}: expected exit {code}, got {proc.returncode}. Output:\n{out}")
+        return
+    for s in substrings:
+        if s not in out:
+            failures.append(f"{name}: expected '{s}' in output. Output:\n{out}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="bench_compare_fire.") as td:
+        work = Path(td)
+
+        # Clean pass: identical snapshots, nothing regresses.
+        expect(run(work, snapshot({"BM_A/16": 100.0, "BM_B/32": 50.0}),
+                   snapshot({"BM_A/16": 100.0, "BM_B/32": 50.0})),
+               "identical", 0, ["2 compared", "0 regressed"])
+
+        # A >15% regression must fail with exit 1 and name the benchmark.
+        expect(run(work, snapshot({"BM_A/16": 100.0}),
+                   snapshot({"BM_A/16": 200.0})),
+               "regression", 1,
+               ["REGRESSION", "bench_micro_policies/BM_A/16", "1 regressed"])
+
+        # Grown/shrunk suites are notes, not failures.
+        expect(run(work, snapshot({"BM_A/16": 100.0, "BM_OLD": 70.0}),
+                   snapshot({"BM_A/16": 101.0, "BM_NEW": 40.0})),
+               "renamed", 0,
+               ["note: dropped from candidate: bench_micro_policies/BM_OLD",
+                "note: new in candidate: bench_micro_policies/BM_NEW",
+                "1 compared"])
+
+        # Sub-min-ns benchmarks are timer noise: a 3x "regression" there is
+        # skipped, not failed.
+        expect(run(work, snapshot({"BM_TINY": 2.0}), snapshot({"BM_TINY": 6.0})),
+               "below-min-ns", 0, ["1 below 5.0ns", "0 regressed"])
+
+        # Context mismatch warns but still compares.
+        expect(run(work, snapshot({"BM_A/16": 100.0}, num_cpus=4),
+                   snapshot({"BM_A/16": 100.0}, num_cpus=64)),
+               "context-mismatch", 0, ["WARNING context mismatch on num_cpus"])
+
+        # Missing baseline: a clean exit-2 diagnostic, not a traceback.
+        proc = run(work, None, snapshot({"BM_A/16": 100.0}))
+        expect(proc, "missing-baseline", 2, ["cannot read snapshot"])
+        if "Traceback" in proc.stdout + proc.stderr:
+            failures.append(f"missing-baseline: raw traceback leaked:\n{proc.stderr}")
+
+        # Corrupt JSON and wrong schema: exit 2, cause named.
+        expect(run(work, "{not json", snapshot({"BM_A/16": 100.0})),
+               "corrupt-json", 2, ["is not valid JSON"])
+        expect(run(work, json.dumps({"schema": "something-else", "suites": {}}),
+                   snapshot({"BM_A/16": 100.0})),
+               "wrong-schema", 2, ["is not a snapshot_micro.py report"])
+
+        # Disjoint name sets: zero benchmarks compared must NOT pass.
+        expect(run(work, snapshot({"BM_ONLY_OLD": 100.0}),
+                   snapshot({"BM_ONLY_NEW": 100.0})),
+               "disjoint", 2, ["vacuous comparison"])
+
+        # A --filter that matches nothing is the same trap.
+        expect(run(work, snapshot({"BM_A/16": 100.0}),
+                   snapshot({"BM_A/16": 100.0}), "--filter", "TYPO"),
+               "filter-matches-nothing", 2, ["vacuous comparison", "TYPO"])
+
+    if failures:
+        print("bench_compare_fire: FAILURES:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("bench_compare_fire: the ratchet fires on every broken input")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

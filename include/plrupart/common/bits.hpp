@@ -80,7 +80,11 @@ inline constexpr std::uint32_t kMaxAssociativity = 64;
   return static_cast<std::uint32_t>(std::popcount(m));
 }
 
-/// Lowest set way; requires a non-empty mask.
+/// Lowest set way; requires a non-empty mask. The precondition is a hard
+/// invariant, not a debug check: PLRUPART_ASSERT is enabled in every build
+/// type (see common/assert.hpp), so a violation throws InvariantError instead
+/// of producing an out-of-range way (countr_zero(0) == 64) that would index
+/// past every per-set array downstream.
 [[nodiscard]] constexpr std::uint32_t mask_first(WayMask m) {
   PLRUPART_ASSERT(m != 0);
   return static_cast<std::uint32_t>(std::countr_zero(m));
@@ -91,11 +95,23 @@ inline constexpr std::uint32_t kMaxAssociativity = 64;
 /// SRRIP distant-line scan): chunks of four fixed-offset compares keep the
 /// loop branch-light and give the compiler independent compare chains (and
 /// vectorizable code under -march flags) instead of a serial variable-shift
-/// reduction.
+/// reduction. The SIMD dispatch tiers (src/cache/simd) reimplement exactly
+/// this function with vector compares; test_simd_dispatch pins them to it.
+///
+/// Shift/width contract: `ways` must not exceed kMaxAssociativity (asserted —
+/// in every build type). Within that bound every shift is by at most
+/// ways - 1 <= 63 < CHAR_BIT * sizeof(WayMask): the chunked loop runs while
+/// w + 4 <= ways, so its largest `<< w` is ways - 4, the lane bits add at
+/// most 3, and the tail loop shifts by at most ways - 1. Each lane flag is
+/// widened to WayMask *before* shifting, so no shift happens in a promoted
+/// (signed) int. When T is narrower than int (uint8_t RRPVs), the `==`
+/// compares integer-promoted values — exact for unsigned sources, hence the
+/// static_assert.
 template <class T>
 [[nodiscard]] inline WayMask tag_match_mask(const T* values, std::uint32_t ways,
-                                            T needle) noexcept {
+                                            T needle) {
   static_assert(std::is_unsigned_v<T>);
+  PLRUPART_ASSERT(ways <= kMaxAssociativity);
   WayMask match = 0;
   std::uint32_t w = 0;
   for (; w + 4 <= ways; w += 4) {
@@ -112,7 +128,10 @@ template <class T>
 
 /// First set way at or after `start`, searching circularly within an A-way set.
 /// Models the NRU replacement pointer scan. Requires m restricted to [0, ways)
-/// to be non-empty.
+/// to be non-empty and start < ways; both preconditions are asserted in every
+/// build type (violations throw InvariantError — the scan cannot silently
+/// return a way outside the set, even after invalidate() storms empty a set;
+/// callers guarantee non-emptiness by construction, see Nru::choose_victim).
 [[nodiscard]] constexpr std::uint32_t mask_next_circular(WayMask m, std::uint32_t start,
                                                          std::uint32_t ways) {
   const WayMask in_range = m & full_way_mask(ways);

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "plrupart/cache/dispatch.hpp"
 #include "plrupart/cache/geometry.hpp"
 #include "plrupart/cache/replacement.hpp"
 
@@ -72,12 +73,13 @@ class PLRUPART_EXPORT Atd {
  private:
   static constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
 
-  /// Shared tag scan of the probe path (same shape as SetAssocCache::find_way).
-  [[nodiscard]] std::uint32_t find_way(std::uint64_t set, std::uint64_t tag) const {
-    const WayMask match =
-        tag_match_mask(tags_.data() + set * ways_, ways_, tag) & valid_[set];
-    return match != 0 ? mask_first(match) : kNoWay;
-  }
+  /// Shared tag scan of the probe path (same shape as SetAssocCache::find_way,
+  /// on full tag words): the full-tag equality scan runs through the kernel of
+  /// the dispatch tier sampled at construction — vpcmpeqq compares 4-8 tags
+  /// per instruction on the AVX tiers, with the same match mask (and thus the
+  /// same result) on every tier. Out-of-line in atd.cpp because the kernels
+  /// are internal to src/cache/simd.
+  [[nodiscard]] std::uint32_t find_way(std::uint64_t set, std::uint64_t tag) const;
 
   template <class Policy>
   AtdObservation access_impl(Policy& pol, std::uint64_t set, std::uint64_t tag);
@@ -85,6 +87,7 @@ class PLRUPART_EXPORT Atd {
   cache::Geometry l2_geo_;
   cache::Geometry atd_geo_;
   std::uint32_t sampling_ratio_;
+  cache::DispatchTier dispatch_;
   cache::ReplacementKind kind_;
   std::unique_ptr<cache::ReplacementPolicy> policy_;
 
@@ -95,7 +98,8 @@ class PLRUPART_EXPORT Atd {
   std::uint64_t l2_set_mask_ = 0;
   WayMask all_ways_ = 0;
 
-  // SoA entry state.
+  // SoA entry state. tags_ carries 64 bytes of padding for the AVX kernels'
+  // whole-block loads (the padded-buffer contract of src/cache/simd).
   std::vector<std::uint64_t> tags_;  ///< [set * A + way]
   std::vector<WayMask> valid_;       ///< per-set valid bitmask
 };

@@ -1,18 +1,77 @@
-// Definition of SetAssocCache::access_impl, shared by the two dispatch TUs.
+// Definition of SetAssocCache::access_impl and the tier-pinned drivers built
+// on it, shared by the per-tier dispatch TUs.
 //
 // The serial hot path (3-arg access, cache.cpp) and the externalized-stats
 // path used by the set-sharded replay engine (4-arg access,
 // cache_shard_access.cpp) each instantiate the full policy x enforcement
-// matrix of this template. Keeping them in separate translation units keeps
-// the serial TU's generated code — and therefore its inlining and icache
-// behaviour — identical to when the 3-arg overload was the only caller;
-// folding both overloads into one TU measurably regressed BM_CacheAccess.
+// matrix of this template for D = kSwar ONLY. Keeping them in separate
+// translation units — and keeping every other tier's instantiation out of
+// them — keeps each TU's generated code, and therefore its inlining and
+// icache behaviour, identical to when that overload was the TU's only
+// content: one extra tier instantiated alongside kSwar pushes visit_policy
+// past gcc's inlining budget and costs ~10% on 16-way BM_CacheAccess.
+// kScalar lives in src/cache/access_scalar.cpp; the AVX tiers live in
+// src/cache/simd/access_avx2.cpp and access_avx512.cpp, which are also the
+// only TUs compiled with the matching -m target flags (what makes the
+// intrinsics in the kAvx* branches of find_way_dispatch legal to emit).
 //
-// Include only from those two TUs, after cache/policy_visit.hpp.
+// Include only from those TUs, after cache/policy_visit.hpp.
+
+#include "cache/simd/simd_kernels.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PLRUPART_PREFETCH(p) __builtin_prefetch(p)
+#else
+#define PLRUPART_PREFETCH(p) ((void)(p))
+#endif
 
 namespace plrupart::cache {
 
-template <EnforcementMode E, class Policy>
+// The tag-filter scan of tier D. Every tier returns the lowest valid way
+// whose full tag matches, or kNoWay: kScalar compares full tags directly;
+// kSwar and the AVX tiers first filter the packed 1-byte partial tags (SWAR
+// word tricks vs vpcmpeqb+movemask) and verify only the nominated ways, so
+// all tiers agree bit-for-bit. The partial-byte reinterpretation relies on
+// the little-endian byte order of every supported x86 target (byte w of the
+// filter block is way w's partial tag).
+template <DispatchTier D>
+std::uint32_t SetAssocCache::find_way_dispatch(std::uint64_t set,
+                                               std::uint64_t tag) const {
+  if constexpr (D == DispatchTier::kScalar) {
+    const WayMask valid = valid_mask(set);
+    const std::uint64_t* tags = tags_.data() + set * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (mask_test(valid, w) && tags[w] == tag) return w;
+    }
+    return kNoWay;
+  } else if constexpr (D == DispatchTier::kSwar) {
+    return find_way(set, tag);
+  } else {
+    const auto* partial = reinterpret_cast<const std::uint8_t*>(
+        set_meta_.data() + set * meta_stride_ + partial_off_);
+    WayMask candidates = 0;
+#if defined(__AVX2__)
+    if constexpr (D == DispatchTier::kAvx2)
+      candidates = simd::byte_match_avx2_impl(partial, ways_,
+                                              static_cast<std::uint8_t>(tag & 0xff));
+#endif
+#if defined(__AVX512BW__)
+    if constexpr (D == DispatchTier::kAvx512)
+      candidates = simd::byte_match_avx512_impl(partial, ways_,
+                                                static_cast<std::uint8_t>(tag & 0xff));
+#endif
+    candidates &= valid_mask(set);
+    const std::uint64_t* tags = tags_.data() + set * ways_;
+    while (candidates != 0) {
+      const std::uint32_t w = mask_first(candidates);
+      if (tags[w] == tag) return w;
+      candidates &= candidates - 1;
+    }
+    return kNoWay;
+  }
+}
+
+template <EnforcementMode E, DispatchTier D, class Policy>
 AccessOutcome SetAssocCache::access_impl(Policy& pol, CoreId core, Addr addr,
                                          bool write, CacheStatsBundle& stats) {
   PLRUPART_ASSERT(core < num_cores_);
@@ -31,7 +90,7 @@ AccessOutcome SetAssocCache::access_impl(Policy& pol, CoreId core, Addr addr,
       E == EnforcementMode::kWayMasks ? masks_[core] : all_ways_;
 
   // Hit path: a core may hit in any way, regardless of partitioning.
-  if (const std::uint32_t w = find_way(set, tag); w != kNoWay) {
+  if (const std::uint32_t w = find_way_dispatch<D>(set, tag); w != kNoWay) {
     ++cs.hits;
     pol.on_hit(set, w, policy_scope);
     AccessOutcome out;
@@ -53,7 +112,7 @@ AccessOutcome SetAssocCache::access_impl(Policy& pol, CoreId core, Addr addr,
     const WayMask victim_scope = E == EnforcementMode::kOwnerCounters
                                      ? eviction_mask(set, core)
                                      : policy_scope;
-    victim = pol.choose_victim(set, victim_scope);
+    victim = choose_victim_dispatch<D>(pol, set, victim_scope);
     PLRUPART_ASSERT_MSG(mask_test(victim_scope, victim),
                         "victim escaped the enforcement mask");
   }
@@ -84,4 +143,69 @@ AccessOutcome SetAssocCache::access_impl(Policy& pol, CoreId core, Addr addr,
   return out;
 }
 
+template <DispatchTier D>
+AccessOutcome SetAssocCache::access_host(CoreId core, Addr addr, bool write,
+                                         CacheStatsBundle& stats) {
+  return visit_policy(kind_, *policy_, [&](auto& pol) {
+    switch (enforcement_) {
+      case EnforcementMode::kWayMasks:
+        return access_impl<EnforcementMode::kWayMasks, D>(pol, core, addr, write,
+                                                          stats);
+      case EnforcementMode::kOwnerCounters:
+        return access_impl<EnforcementMode::kOwnerCounters, D>(pol, core, addr,
+                                                               write, stats);
+      case EnforcementMode::kNone:
+        break;
+    }
+    return access_impl<EnforcementMode::kNone, D>(pol, core, addr, write, stats);
+  });
+}
+
+// Batched replay: op k runs exactly the serial access_impl after op k-1, so
+// outcomes and statistics are identical to n separate access() calls; the
+// win is the prefetch window issuing the set-metadata loads of upcoming ops
+// while the current op's dependent chain (set decode -> filter load ->
+// verify -> policy update) drains.
+template <EnforcementMode E, DispatchTier D, class Policy>
+void SetAssocCache::access_batch_impl(Policy& pol, const BatchOp* ops,
+                                      std::size_t n, AccessOutcome* out,
+                                      CacheStatsBundle& stats) {
+  constexpr std::size_t kWindow = 8;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t end = i + kWindow < n ? i + kWindow : n;
+    for (std::size_t k = i; k < end; ++k) {
+      const std::uint64_t set = (ops[k].addr >> line_shift_) & set_mask_;
+      PLRUPART_PREFETCH(set_meta_.data() + set * meta_stride_);
+      PLRUPART_PREFETCH(tags_.data() + set * ways_);
+    }
+    for (std::size_t k = i; k < end; ++k) {
+      out[k] =
+          access_impl<E, D>(pol, ops[k].core, ops[k].addr, ops[k].write, stats);
+    }
+    i = end;
+  }
+}
+
+template <DispatchTier D>
+void SetAssocCache::access_batch_host(const BatchOp* ops, std::size_t n,
+                                      AccessOutcome* out, CacheStatsBundle& stats) {
+  visit_policy(kind_, *policy_, [&](auto& pol) {
+    switch (enforcement_) {
+      case EnforcementMode::kWayMasks:
+        access_batch_impl<EnforcementMode::kWayMasks, D>(pol, ops, n, out, stats);
+        return;
+      case EnforcementMode::kOwnerCounters:
+        access_batch_impl<EnforcementMode::kOwnerCounters, D>(pol, ops, n, out,
+                                                              stats);
+        return;
+      case EnforcementMode::kNone:
+        break;
+    }
+    access_batch_impl<EnforcementMode::kNone, D>(pol, ops, n, out, stats);
+  });
+}
+
 }  // namespace plrupart::cache
+
+#undef PLRUPART_PREFETCH

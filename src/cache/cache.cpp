@@ -26,6 +26,7 @@ SetAssocCache::SetAssocCache(const Geometry& geo, ReplacementKind repl,
     : geo_(geo),
       num_cores_(num_cores),
       enforcement_(enforcement),
+      dispatch_(active_dispatch_tier()),
       kind_(repl),
       policy_(make_policy(repl, geo, seed)),
       masks_(num_cores, full_way_mask(geo.associativity)),
@@ -42,8 +43,11 @@ SetAssocCache::SetAssocCache(const Geometry& geo, ReplacementKind repl,
   partial_words_ = (ways_ + 7) / 8;
   partial_off_ = num_cores_ + 1;
   meta_stride_ = partial_off_ + partial_words_;
-  tags_.assign(geo_.sets() * ways_, 0);
-  set_meta_.assign(geo_.sets() * meta_stride_, 0);
+  // +8 words = 64 bytes of padding on each array: the AVX dispatch tiers'
+  // kernels load whole 32/64-byte blocks past the scanned range and mask the
+  // overhang (the padded-buffer contract of src/cache/simd).
+  tags_.assign(geo_.sets() * ways_ + 8, 0);
+  set_meta_.assign(geo_.sets() * meta_stride_ + 8, 0);
 }
 
 void SetAssocCache::reset() {
@@ -70,20 +74,23 @@ WayMask SetAssocCache::eviction_mask(std::uint64_t set, CoreId core) const {
 
 // The serial hot path. The externalized-stats 4-arg overload lives in
 // cache_shard_access.cpp so its access_impl instantiations cannot perturb
-// this TU's codegen — see access_impl.ipp.
+// this TU's codegen, and the AVX tiers live in src/cache/simd/access_*.cpp
+// (the only TUs built with the matching -m flags) — see access_impl.ipp.
 AccessOutcome SetAssocCache::access(CoreId core, Addr addr, bool write) {
-  return visit_policy(kind_, *policy_, [&](auto& pol) {
-    switch (enforcement_) {
-      case EnforcementMode::kWayMasks:
-        return access_impl<EnforcementMode::kWayMasks>(pol, core, addr, write, stats_);
-      case EnforcementMode::kOwnerCounters:
-        return access_impl<EnforcementMode::kOwnerCounters>(pol, core, addr, write,
-                                                            stats_);
-      case EnforcementMode::kNone:
-        break;
-    }
-    return access_impl<EnforcementMode::kNone>(pol, core, addr, write, stats_);
-  });
+  switch (dispatch_) {
+#if defined(PLRUPART_SIMD_AVX2)
+    case DispatchTier::kAvx2:
+      return access_avx2(core, addr, write, stats_);
+#endif
+#if defined(PLRUPART_SIMD_AVX512)
+    case DispatchTier::kAvx512:
+      return access_avx512(core, addr, write, stats_);
+#endif
+    case DispatchTier::kScalar:
+      return access_scalar(core, addr, write, stats_);
+    default:
+      return access_host<DispatchTier::kSwar>(core, addr, write, stats_);
+  }
 }
 
 AccessOutcome SetAssocCache::probe(Addr addr) const {

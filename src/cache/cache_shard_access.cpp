@@ -13,18 +13,20 @@ namespace plrupart::cache {
 // untouched by these extra access_impl instantiations — see access_impl.ipp.
 AccessOutcome SetAssocCache::access(CoreId core, Addr addr, bool write,
                                     CacheStatsBundle& stats) {
-  return visit_policy(kind_, *policy_, [&](auto& pol) {
-    switch (enforcement_) {
-      case EnforcementMode::kWayMasks:
-        return access_impl<EnforcementMode::kWayMasks>(pol, core, addr, write, stats);
-      case EnforcementMode::kOwnerCounters:
-        return access_impl<EnforcementMode::kOwnerCounters>(pol, core, addr, write,
-                                                            stats);
-      case EnforcementMode::kNone:
-        break;
-    }
-    return access_impl<EnforcementMode::kNone>(pol, core, addr, write, stats);
-  });
+  switch (dispatch_) {
+#if defined(PLRUPART_SIMD_AVX2)
+    case DispatchTier::kAvx2:
+      return access_avx2(core, addr, write, stats);
+#endif
+#if defined(PLRUPART_SIMD_AVX512)
+    case DispatchTier::kAvx512:
+      return access_avx512(core, addr, write, stats);
+#endif
+    case DispatchTier::kScalar:
+      return access_scalar(core, addr, write, stats);
+    default:
+      return access_host<DispatchTier::kSwar>(core, addr, write, stats);
+  }
 }
 
 }  // namespace plrupart::cache

@@ -1,0 +1,22 @@
+// The kAvx512 access path: the only TU instantiating access_impl with
+// D = kAvx512, compiled with -mavx512f -mavx512bw (see access_avx2.cpp for
+// the per-TU isolation rationale).
+#include "plrupart/cache/cache.hpp"
+
+#include "cache/policy_visit.hpp"
+
+#include "cache/access_impl.ipp"
+
+namespace plrupart::cache {
+
+AccessOutcome SetAssocCache::access_avx512(CoreId core, Addr addr, bool write,
+                                           CacheStatsBundle& stats) {
+  return access_host<DispatchTier::kAvx512>(core, addr, write, stats);
+}
+
+void SetAssocCache::access_batch_avx512(const BatchOp* ops, std::size_t n,
+                                        AccessOutcome* out, CacheStatsBundle& stats) {
+  access_batch_host<DispatchTier::kAvx512>(ops, n, out, stats);
+}
+
+}  // namespace plrupart::cache

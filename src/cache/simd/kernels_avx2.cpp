@@ -1,0 +1,18 @@
+// Out-of-line AVX2 kernels for runtime-dispatched callers in plain TUs
+// (Atd::find_way, Srrip's virtual choose_victim). This TU is compiled with
+// -mavx2; call only when dispatch_tier_available(kAvx2) holds.
+#include "cache/simd/simd_kernels.hpp"
+
+namespace plrupart::cache::simd {
+
+WayMask byte_match_avx2(const std::uint8_t* values, std::uint32_t count,
+                        std::uint8_t needle) noexcept {
+  return byte_match_avx2_impl(values, count, needle);
+}
+
+WayMask u64_match_avx2(const std::uint64_t* values, std::uint32_t count,
+                       std::uint64_t needle) noexcept {
+  return u64_match_avx2_impl(values, count, needle);
+}
+
+}  // namespace plrupart::cache::simd

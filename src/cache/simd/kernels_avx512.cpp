@@ -1,0 +1,18 @@
+// Out-of-line AVX-512BW kernels for runtime-dispatched callers in plain TUs.
+// This TU is compiled with -mavx512f -mavx512bw; call only when
+// dispatch_tier_available(kAvx512) holds.
+#include "cache/simd/simd_kernels.hpp"
+
+namespace plrupart::cache::simd {
+
+WayMask byte_match_avx512(const std::uint8_t* values, std::uint32_t count,
+                          std::uint8_t needle) noexcept {
+  return byte_match_avx512_impl(values, count, needle);
+}
+
+WayMask u64_match_avx512(const std::uint64_t* values, std::uint32_t count,
+                         std::uint64_t needle) noexcept {
+  return u64_match_avx512_impl(values, count, needle);
+}
+
+}  // namespace plrupart::cache::simd

@@ -3,7 +3,10 @@
 namespace plrupart::cache {
 
 Srrip::Srrip(const Geometry& geo) : ReplacementPolicy(geo) {
-  rrpv_.resize(sets_ * ways_, kMaxRrpv);  // cold lines look distant
+  // Cold lines look distant. The extra 64 bytes are the padded-buffer
+  // contract of the SIMD dispatch tiers (src/cache/simd): their whole-block
+  // loads may read past the last set's RRPVs; the overhang is masked away.
+  rrpv_.resize(sets_ * ways_ + 64, kMaxRrpv);
 }
 
 void Srrip::reset() {

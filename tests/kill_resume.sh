@@ -28,8 +28,13 @@ cd "$WORK" || die "cannot enter $WORK"
 
 # Two sweeps over the same matrix axes: a slow one (jobs take long enough for
 # a SIGKILL to land mid-flight) and a quick one for the fault-injection legs.
-AXES=(--workload 2T_01,2T_02 --configs NOPART-L,M-BT --l2-kb-sweep 128,256
+# Three L2 sizes make 12 jobs: the kill poll below triggers after the second
+# durable record, leaving ten-plus jobs of runway, so the SIGKILL landing
+# mid-flight is deterministic on any host fast or slow (a 2-of-12 prefix
+# cannot outrun the kill the way a 2-of-8 one occasionally did).
+AXES=(--workload 2T_01,2T_02 --configs NOPART-L,M-BT --l2-kb-sweep 128,256,512
       --interval 40000 --threads 1)
+NJOBS=12
 SLOW=("${AXES[@]}" --seed 7 --instr 2000000)
 QUICK=("${AXES[@]}" --seed 7 --instr 200000)
 
@@ -41,32 +46,33 @@ QUICK=("${AXES[@]}" --seed 7 --instr 200000)
 "$CLI" "${SLOW[@]}" --journal j_full --csv full.csv || die "journaled run failed"
 cmp -s base_slow.csv full.csv || die "journaled CSV differs from the plain run"
 
+# Wall-clock-bounded poll: wait (up to DEADLINE seconds, generous for
+# sanitizer builds) for two durable records, then SIGKILL while at least ten
+# jobs are still unwritten. The kill landing mid-flight is asserted, not
+# best-effort: a resume leg that silently degraded to replaying 0 missing
+# jobs would prove nothing about crash recovery.
 "$CLI" "${SLOW[@]}" --journal j_kill --csv kill.csv &
 pid=$!
-for _ in $(seq 1 1000); do
+DEADLINE=$((SECONDS + 120))
+while [ "$SECONDS" -lt "$DEADLINE" ]; do
   n=$(ls j_kill/job-*.rec 2>/dev/null | wc -l)
   [ "$n" -ge 2 ] && break
   kill -0 "$pid" 2>/dev/null || break
   sleep 0.02
 done
-killed=1
-kill -0 "$pid" 2>/dev/null || killed=0
+kill -0 "$pid" 2>/dev/null || die "the sweep finished (or died) before the kill \
+could land mid-flight; the resume leg would prove nothing"
 kill -KILL "$pid" 2>/dev/null
 wait "$pid" 2>/dev/null
 n=$(ls j_kill/job-*.rec 2>/dev/null | wc -l)
 [ "$n" -ge 1 ] || die "no durable journal records before the kill; nothing to resume"
-if [ "$killed" -eq 1 ]; then
-  [ -e kill.csv ] && die "a SIGKILLed sweep published a CSV (atomic output broken)"
-else
-  echo "kill_resume: note: the sweep outran the kill; resume leg degrades to 8/8" >&2
-fi
+[ "$n" -lt "$NJOBS" ] || die "every job was journaled before the kill; nothing left to resume"
+[ -e kill.csv ] && die "a SIGKILLed sweep published a CSV (atomic output broken)"
 
 "$CLI" "${SLOW[@]}" --journal j_kill --resume --progress --csv resumed.csv \
     2>resume.err || { cat resume.err >&2; die "resume failed"; }
 cmp -s base_slow.csv resumed.csv || die "resumed CSV is not byte-identical to baseline"
-if [ "$killed" -eq 1 ]; then
-  grep -q "resuming:" resume.err || die "resume did not report already-journaled jobs"
-fi
+grep -q "resuming:" resume.err || die "resume did not report already-journaled jobs"
 
 # --- 2. Journal misuse must fail loudly ----------------------------------
 
@@ -109,5 +115,26 @@ PLRUPART_FAULT_INJECT=write:1 "$CLI" "${QUICK[@]}" --journal j_env --csv env.csv
 PLRUPART_FAULT_INJECT=write:1 "$CLI" "${QUICK[@]}" --fault-inject read:0 \
     --csv flag_wins.csv || die "--fault-inject must override PLRUPART_FAULT_INJECT"
 cmp -s base_quick.csv flag_wins.csv || die "flag-override run changed the CSV"
+
+# --- 4. --progress under --job-retries: no double-counted reporting -------
+# Write faults force several failed attempts per job; the [n/total] done
+# counter must still tick exactly once per job (run() increments it outside
+# the retry loop, and the throughput numerator is the final attempt's access
+# count only), and the CSV must stay byte-identical to the clean baseline.
+"$CLI" "${QUICK[@]}" --progress --fault-inject write:0.5 --job-retries 12 \
+    --retry-backoff-ms 0 --journal j_prog --csv prog.csv 2>prog.err ||
+  { cat prog.err >&2; die "progress fault run did not recover"; }
+cmp -s base_quick.csv prog.csv || die "progress fault run changed the CSV"
+grep -q "failed (injected write fault" prog.err ||
+  die "no retry lines under --progress: the fault leg exercised nothing"
+done_lines=$(grep -c " done (" prog.err)
+[ "$done_lines" -eq "$NJOBS" ] ||
+  die "expected $NJOBS done lines under retries, saw $done_lines (double-counted?)"
+for n in $(seq 1 "$NJOBS"); do
+  c=$(grep -c "\[$n/$NJOBS\]" prog.err)
+  [ "$c" -eq 1 ] || die "done counter [$n/$NJOBS] reported $c times"
+done
+grep -q "\[$((NJOBS + 1))/$NJOBS\]" prog.err &&
+  die "done counter overran the job total (retries double-counted)"
 
 echo "kill_resume: all resilience gates passed"

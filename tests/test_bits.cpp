@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace plrupart {
 namespace {
 
@@ -108,6 +111,59 @@ TEST(Bits, TagMatchMaskIgnoresWaysBeyondCount) {
   const std::uint8_t rrpv[6] = {3, 0, 3, 2, 3, 1};
   EXPECT_EQ(tag_match_mask(rrpv, 6, std::uint8_t{3}), 0b010101ULL);
   EXPECT_EQ(tag_match_mask(rrpv, 4, std::uint8_t{3}), 0b000101ULL);
+}
+
+// Shift/width boundary audit (see the contract note on tag_match_mask): the
+// chunked loop must produce a correct mask at the widths where its shift
+// arithmetic is most exposed -- below one chunk (1, 3), exactly one chunk
+// (4), and at the top of the WayMask (63, 64) where `<< w` runs to 59..63
+// and a lane flag promoted to int before widening would be UB.
+TEST(Bits, TagMatchMaskBoundaryWidths) {
+  for (const std::uint32_t ways : {1U, 3U, 4U, 63U, 64U}) {
+    std::vector<std::uint64_t> tags(ways, 7);
+    // Needle planted at every position, one at a time: every chunk lane and
+    // every tail lane produces its own bit, including bit 63.
+    for (std::uint32_t pos = 0; pos < ways; ++pos) {
+      tags[pos] = 42;
+      EXPECT_EQ(tag_match_mask(tags.data(), ways, std::uint64_t{42}),
+                WayMask{1} << pos)
+          << "ways=" << ways << " pos=" << pos;
+      tags[pos] = 7;
+    }
+    // All-match: the accumulated mask must be exactly the full way mask (a
+    // lost or sign-extended high bit shows up here immediately).
+    EXPECT_EQ(tag_match_mask(tags.data(), ways, std::uint64_t{7}),
+              full_way_mask(ways))
+        << "ways=" << ways;
+    EXPECT_EQ(tag_match_mask(tags.data(), ways, std::uint64_t{8}), 0ULL);
+  }
+}
+
+// Collisions in every position of every 4-wide chunk simultaneously, at the
+// same boundary widths, cross-checked against a bit-by-bit oracle.
+TEST(Bits, TagMatchMaskChunkCollisions) {
+  for (const std::uint32_t ways : {1U, 3U, 4U, 63U, 64U}) {
+    std::vector<std::uint8_t> v(ways);
+    for (std::uint32_t i = 0; i < ways; ++i)
+      v[i] = static_cast<std::uint8_t>(i % 3);  // period-3 vs chunk width 4:
+                                                // the collision pattern drifts
+                                                // through every chunk lane
+    for (std::uint8_t needle = 0; needle < 3; ++needle) {
+      WayMask expect = 0;
+      for (std::uint32_t i = 0; i < ways; ++i)
+        if (v[i] == needle) expect |= WayMask{1} << i;
+      EXPECT_EQ(tag_match_mask(v.data(), ways, needle), expect)
+          << "ways=" << ways << " needle=" << unsigned{needle};
+    }
+  }
+}
+
+// ways > kMaxAssociativity would shift past the WayMask width; the contract
+// is asserted in every build type.
+TEST(Bits, TagMatchMaskRejectsOverwideScan) {
+  const std::vector<std::uint64_t> tags(65, 1);
+  EXPECT_THROW((void)tag_match_mask(tags.data(), 65, std::uint64_t{1}),
+               InvariantError);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "plrupart/common/rng.hpp"
 
@@ -157,6 +158,46 @@ TEST(Cache, DistinctReplacementKindsDiverge) {
     rnd.access(0, a, false);
   }
   EXPECT_NE(lru.stats().per_core[0].misses, rnd.stats().per_core[0].misses);
+}
+
+// Invalidate storm: empty out whole sets (including every line the NRU
+// replacement pointer could be aimed at) and keep accessing. The replacement
+// policies retain their metadata for invalidated ways (used bits, RRPVs,
+// tree state), so the fill path must route refills through the invalid-way
+// mask and never hand a policy an empty candidate scan --
+// mask_next_circular/mask_first assert non-emptiness in every build type
+// (common/bits.hpp), so a violation would throw InvariantError here instead
+// of silently indexing out of range.
+TEST(Cache, InvalidateStormThenRefillIsWellDefined) {
+  const auto g = tiny();
+  for (const auto kind : {ReplacementKind::kLru, ReplacementKind::kNru,
+                          ReplacementKind::kTreePlru, ReplacementKind::kRandom,
+                          ReplacementKind::kSrrip}) {
+    SetAssocCache c(g, kind, 2, EnforcementMode::kWayMasks, 11);
+    c.set_way_mask(0, way_range_mask(0, 2));
+    c.set_way_mask(1, way_range_mask(2, 2));
+    Rng rng(3);
+    std::vector<Addr> resident;
+    for (int round = 0; round < 200; ++round) {
+      // Fill phase: enough conflicting accesses to saturate NRU used bits
+      // and age SRRIP lines.
+      resident.clear();
+      for (int i = 0; i < 64; ++i) {
+        const Addr a = addr_of(g, rng.next_below(4), rng.next_below(8));
+        c.access(static_cast<CoreId>(i & 1), a, false);
+        resident.push_back(a);
+      }
+      // Storm phase: tear every remembered line out (some already evicted).
+      for (const Addr a : resident) c.invalidate(a);
+      // Refill: every set now has invalid ways; the next misses must fill
+      // them without consulting the victim scan on stale metadata.
+      for (int i = 0; i < 16; ++i) {
+        const Addr a = addr_of(g, rng.next_below(4), rng.next_below(8));
+        const auto out = c.access(static_cast<CoreId>(i & 1), a, false);
+        EXPECT_LT(out.way, g.associativity);
+      }
+    }
+  }
 }
 
 }  // namespace

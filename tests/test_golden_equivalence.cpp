@@ -1,34 +1,57 @@
 // Golden-equivalence replay: the statically-dispatched SoA access path must be
 // bit-indistinguishable from the frozen pre-refactor reference model for every
-// ReplacementKind × EnforcementMode combination, across hits, misses,
-// evictions, probes, invalidations, partition updates and mid-trace resets.
+// ReplacementKind × EnforcementMode × DispatchTier combination, across hits,
+// misses, evictions, probes, invalidations, partition updates and mid-trace
+// resets. The tier axis is the bit-identity proof for the SIMD kernels
+// (src/cache/simd): each combo runs the SUT under one forced tier against the
+// tier-less reference model; tiers the build/host cannot run are skipped.
 #include <gtest/gtest.h>
 
 #include <tuple>
 #include <vector>
 
 #include "plrupart/cache/cache.hpp"
+#include "plrupart/cache/dispatch.hpp"
 #include "plrupart/common/rng.hpp"
 #include "support/reference_cache.hpp"
 
 namespace plrupart {
 namespace {
 
+using cache::DispatchTier;
 using cache::EnforcementMode;
 using cache::ReplacementKind;
 
 struct Combo {
   ReplacementKind kind;
   EnforcementMode enforcement;
+  DispatchTier tier;
 };
 
 std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
-  std::string s = to_string(info.param.kind) + "_" + to_string(info.param.enforcement);
+  std::string s = to_string(info.param.kind) + "_" + to_string(info.param.enforcement) +
+                  "_" + to_string(info.param.tier);
   for (auto& c : s) {
     if (c == '-' || c == '.') c = '_';
   }
   return s;
 }
+
+/// Forces the process-wide dispatch tier for the lifetime of one test, so the
+/// SUT constructed inside samples the combo's tier.
+class ScopedDispatchTier {
+ public:
+  explicit ScopedDispatchTier(DispatchTier tier)
+      : prev_(cache::active_dispatch_tier()) {
+    cache::set_active_dispatch_tier(tier);
+  }
+  ~ScopedDispatchTier() { cache::set_active_dispatch_tier(prev_); }
+  ScopedDispatchTier(const ScopedDispatchTier&) = delete;
+  ScopedDispatchTier& operator=(const ScopedDispatchTier&) = delete;
+
+ private:
+  DispatchTier prev_;
+};
 
 class GoldenEquivalence : public ::testing::TestWithParam<Combo> {};
 
@@ -45,13 +68,18 @@ void expect_same_stats(const cache::CacheStatsBundle& a, const cache::CacheStats
 }
 
 TEST_P(GoldenEquivalence, RandomTraceReplaysIdentically) {
-  const auto [kind, enforcement] = GetParam();
+  const auto [kind, enforcement, tier] = GetParam();
+  if (!cache::dispatch_tier_available(tier)) {
+    GTEST_SKIP() << to_string(tier) << " tier not available on this build/host";
+  }
   const cache::Geometry geo{.size_bytes = 64 * 8 * 128, .associativity = 8,
                             .line_bytes = 128};
   constexpr std::uint32_t kCores = 3;
   constexpr std::uint64_t kSeed = 0xc0ffee;
 
+  const ScopedDispatchTier forced(tier);
   cache::SetAssocCache sut(geo, kind, kCores, enforcement, kSeed);
+  ASSERT_EQ(sut.dispatch_tier(), tier);
   testing::ReferenceCache ref(geo, kind, kCores, enforcement, kSeed);
 
   Rng rng(42);
@@ -148,7 +176,10 @@ std::vector<Combo> all_combos() {
                           ReplacementKind::kSrrip}) {
     for (const auto enf : {EnforcementMode::kNone, EnforcementMode::kWayMasks,
                            EnforcementMode::kOwnerCounters}) {
-      combos.push_back({kind, enf});
+      for (const auto tier : {DispatchTier::kScalar, DispatchTier::kSwar,
+                              DispatchTier::kAvx2, DispatchTier::kAvx512}) {
+        combos.push_back({kind, enf, tier});
+      }
     }
   }
   return combos;

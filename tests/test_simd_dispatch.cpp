@@ -1,0 +1,286 @@
+// The DispatchTier seam (plrupart/cache/dispatch.hpp) and the SIMD kernels
+// behind it (src/cache/simd/simd_kernels.hpp).
+//
+// Kernel-level proof: every available tier's byte/u64 equality scan computes
+// exactly tag_match_mask() -- fuzzed over widths 1..64, planted needles at
+// every position (including every position inside each 4-wide SWAR chunk and
+// each 32/64-byte vector block), and buffers padded per the padded-buffer
+// contract with poison bytes past the end that must never leak into a result.
+//
+// Cache-level proof: access_batch() is bit-identical to the serial access
+// loop under every tier, for every policy x enforcement combo, including
+// chunked/uneven/zero-length batches. (Tier-vs-reference identity is the
+// GoldenEquivalence matrix's job.)
+//
+// The PLRUPART_SIMD_AVX* macros are mirrored onto this test target by
+// tests/CMakeLists.txt so the runtime-dispatch helpers route identically to
+// the library's own TUs; tiers the build or host cannot run are skipped via
+// dispatch_tier_available().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+#include "cache/simd/simd_kernels.hpp"
+#include "plrupart/cache/cache.hpp"
+#include "plrupart/cache/dispatch.hpp"
+#include "plrupart/common/bits.hpp"
+#include "plrupart/common/rng.hpp"
+#include "plrupart/core/atd.hpp"
+
+namespace plrupart {
+namespace {
+
+using cache::DispatchTier;
+using cache::EnforcementMode;
+using cache::ReplacementKind;
+
+constexpr DispatchTier kAllTiers[] = {DispatchTier::kScalar, DispatchTier::kSwar,
+                                      DispatchTier::kAvx2, DispatchTier::kAvx512};
+
+std::vector<DispatchTier> available_tiers() {
+  std::vector<DispatchTier> tiers;
+  for (const auto t : kAllTiers) {
+    if (cache::dispatch_tier_available(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+/// A scan buffer satisfying the padded-buffer contract, with the pad filled
+/// with the needle value itself: the nastiest poison, since any kernel that
+/// forgets to mask its whole-block compare down to [0, count) will report
+/// phantom matches in the pad.
+template <class T>
+std::vector<T> padded(const std::vector<T>& values, T poison) {
+  std::vector<T> buf(values);
+  buf.resize(values.size() + cache::simd::kSimdPadBytes / sizeof(T), poison);
+  return buf;
+}
+
+TEST(SimdKernels, ByteMatchEveryTierEveryWidthEveryPosition) {
+  for (const auto tier : available_tiers()) {
+    for (std::uint32_t ways = 1; ways <= kMaxAssociativity; ++ways) {
+      for (std::uint32_t pos = 0; pos < ways; ++pos) {
+        std::vector<std::uint8_t> v(ways, 0x11);
+        v[pos] = 0xab;
+        const auto buf = padded<std::uint8_t>(v, 0xab);
+        EXPECT_EQ(cache::simd::byte_match(tier, buf.data(), ways, 0xab),
+                  WayMask{1} << pos)
+            << to_string(tier) << " ways=" << ways << " pos=" << pos;
+        // Absent needle: nothing may match, least of all the poisoned pad.
+        EXPECT_EQ(cache::simd::byte_match(tier, buf.data(), ways, 0xcd), 0U)
+            << to_string(tier) << " ways=" << ways;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ByteMatchFuzzAgainstTagMatchMask) {
+  Rng rng(0x51);
+  for (const auto tier : available_tiers()) {
+    for (int iter = 0; iter < 2000; ++iter) {
+      const auto ways = static_cast<std::uint32_t>(rng.next_in(1, kMaxAssociativity));
+      std::vector<std::uint8_t> v(ways);
+      // 4-value alphabet: dense collisions in every chunk position.
+      for (auto& x : v) x = static_cast<std::uint8_t>(rng.next_below(4));
+      const auto needle = static_cast<std::uint8_t>(rng.next_below(4));
+      const auto buf = padded<std::uint8_t>(v, needle);
+      EXPECT_EQ(cache::simd::byte_match(tier, buf.data(), ways, needle),
+                tag_match_mask(v.data(), ways, needle))
+          << to_string(tier) << " ways=" << ways << " iter=" << iter;
+    }
+  }
+}
+
+TEST(SimdKernels, U64MatchFuzzAgainstTagMatchMask) {
+  Rng rng(0x52);
+  for (const auto tier : available_tiers()) {
+    for (int iter = 0; iter < 2000; ++iter) {
+      const auto ways = static_cast<std::uint32_t>(rng.next_in(1, kMaxAssociativity));
+      std::vector<std::uint64_t> v(ways);
+      for (auto& x : v) x = rng.next_below(4) * 0x0123456789abcdefULL;
+      const std::uint64_t needle = rng.next_below(4) * 0x0123456789abcdefULL;
+      const auto buf = padded<std::uint64_t>(v, needle);
+      EXPECT_EQ(cache::simd::u64_match(tier, buf.data(), ways, needle),
+                tag_match_mask(v.data(), ways, needle))
+          << to_string(tier) << " ways=" << ways << " iter=" << iter;
+    }
+  }
+}
+
+TEST(DispatchTierApi, ToStringParseRoundTrip) {
+  for (const auto t : kAllTiers) {
+    const auto parsed = cache::parse_dispatch_tier(to_string(t));
+    ASSERT_TRUE(parsed.has_value()) << to_string(t);
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(cache::parse_dispatch_tier("").has_value());
+  EXPECT_FALSE(cache::parse_dispatch_tier("avx").has_value());
+  EXPECT_FALSE(cache::parse_dispatch_tier("AVX2").has_value());
+  EXPECT_FALSE(cache::parse_dispatch_tier("native").has_value());
+}
+
+TEST(DispatchTierApi, PortableTiersAlwaysAvailableAndBestIsAvailable) {
+  EXPECT_TRUE(cache::dispatch_tier_available(DispatchTier::kScalar));
+  EXPECT_TRUE(cache::dispatch_tier_available(DispatchTier::kSwar));
+  const auto best = cache::best_dispatch_tier();
+  EXPECT_TRUE(cache::dispatch_tier_available(best));
+  EXPECT_GE(best, DispatchTier::kSwar);
+}
+
+TEST(DispatchTierApi, InstancesSampleActiveTierAtConstruction) {
+  const auto prev = cache::active_dispatch_tier();
+  const cache::Geometry geo{.size_bytes = 16 * 4 * 64, .associativity = 4,
+                            .line_bytes = 64};
+  cache::set_active_dispatch_tier(DispatchTier::kScalar);
+  const cache::SetAssocCache scalar_cache(geo, ReplacementKind::kNru, 1,
+                                          EnforcementMode::kNone);
+  cache::set_active_dispatch_tier(DispatchTier::kSwar);
+  const cache::SetAssocCache swar_cache(geo, ReplacementKind::kNru, 1,
+                                        EnforcementMode::kNone);
+  cache::set_active_dispatch_tier(prev);
+  EXPECT_EQ(scalar_cache.dispatch_tier(), DispatchTier::kScalar);
+  EXPECT_EQ(swar_cache.dispatch_tier(), DispatchTier::kSwar);
+  EXPECT_EQ(cache::active_dispatch_tier(), prev);
+}
+
+TEST(DispatchTierApi, ForcingUnavailableTierThrows) {
+  bool all_available = true;
+  for (const auto t : kAllTiers) all_available &= cache::dispatch_tier_available(t);
+  if (all_available) {
+    GTEST_SKIP() << "every tier is available on this build/host";
+  }
+  for (const auto t : kAllTiers) {
+    if (!cache::dispatch_tier_available(t)) {
+      EXPECT_THROW(cache::set_active_dispatch_tier(t), InvariantError) << to_string(t);
+    }
+  }
+}
+
+/// access_batch vs the serial loop: same ops, same seed, bit-identical
+/// outcomes and stats, across every tier and every policy/enforcement combo.
+/// The batch is fed in deliberately awkward chunk sizes (0, 1, sub-window,
+/// exactly the prefetch window, and a large remainder).
+TEST(AccessBatch, BitIdenticalToSerialAccessOnEveryTier) {
+  const cache::Geometry geo{.size_bytes = 32 * 8 * 128, .associativity = 8,
+                            .line_bytes = 128};
+  constexpr std::uint32_t kCores = 2;
+  constexpr std::uint64_t kSeed = 0xfeed;
+  constexpr std::size_t kOps = 8192;
+
+  std::vector<cache::SetAssocCache::BatchOp> ops(kOps);
+  Rng rng(9);
+  for (auto& op : ops) {
+    op.addr = rng.next_below(8 * geo.lines()) * geo.line_bytes;
+    op.core = static_cast<cache::CoreId>(rng.next_below(kCores));
+    op.write = rng.next_below(4) == 0;
+  }
+
+  const auto prev = cache::active_dispatch_tier();
+  for (const auto tier : available_tiers()) {
+    for (const auto kind : {ReplacementKind::kLru, ReplacementKind::kNru,
+                            ReplacementKind::kTreePlru, ReplacementKind::kRandom,
+                            ReplacementKind::kSrrip}) {
+      for (const auto enf : {EnforcementMode::kNone, EnforcementMode::kWayMasks,
+                             EnforcementMode::kOwnerCounters}) {
+        cache::set_active_dispatch_tier(tier);
+        cache::SetAssocCache serial(geo, kind, kCores, enf, kSeed);
+        cache::SetAssocCache batched(geo, kind, kCores, enf, kSeed);
+        cache::set_active_dispatch_tier(prev);
+        if (enf == EnforcementMode::kWayMasks) {
+          for (auto* c : {&serial, &batched}) {
+            c->set_way_mask(0, way_range_mask(0, 4));
+            c->set_way_mask(1, way_range_mask(4, 4));
+          }
+        } else if (enf == EnforcementMode::kOwnerCounters) {
+          for (auto* c : {&serial, &batched}) {
+            c->set_way_quota(0, 4);
+            c->set_way_quota(1, 4);
+          }
+        }
+
+        std::vector<cache::AccessOutcome> serial_out(kOps);
+        for (std::size_t i = 0; i < kOps; ++i) {
+          serial_out[i] = serial.access(ops[i].core, ops[i].addr, ops[i].write);
+        }
+
+        std::vector<cache::AccessOutcome> batch_out(kOps);
+        constexpr std::size_t kChunks[] = {0, 1, 3, 8, 61, 4096};
+        std::size_t done = 0;
+        std::size_t ci = 0;
+        while (done < kOps) {
+          const std::size_t n =
+              std::min(kChunks[ci % std::size(kChunks)], kOps - done);
+          batched.access_batch(ops.data() + done, n, batch_out.data() + done);
+          done += n;
+          ++ci;
+        }
+
+        for (std::size_t i = 0; i < kOps; ++i) {
+          ASSERT_EQ(serial_out[i].hit, batch_out[i].hit)
+              << to_string(tier) << " " << to_string(kind) << " " << to_string(enf)
+              << " op " << i;
+          ASSERT_EQ(serial_out[i].way, batch_out[i].way) << "op " << i;
+          ASSERT_EQ(serial_out[i].evicted_valid, batch_out[i].evicted_valid)
+              << "op " << i;
+          ASSERT_EQ(serial_out[i].evicted_line, batch_out[i].evicted_line)
+              << "op " << i;
+          ASSERT_EQ(serial_out[i].evicted_owner, batch_out[i].evicted_owner)
+              << "op " << i;
+        }
+
+        const auto& sa = serial.stats().per_core;
+        const auto& sb = batched.stats().per_core;
+        ASSERT_EQ(sa.size(), sb.size());
+        for (std::size_t c = 0; c < sa.size(); ++c) {
+          EXPECT_EQ(sa[c].accesses, sb[c].accesses);
+          EXPECT_EQ(sa[c].hits, sb[c].hits);
+          EXPECT_EQ(sa[c].misses, sb[c].misses);
+          EXPECT_EQ(sa[c].writes, sb[c].writes);
+          EXPECT_EQ(sa[c].self_evictions, sb[c].self_evictions);
+          EXPECT_EQ(sa[c].cross_evictions, sb[c].cross_evictions);
+        }
+      }
+    }
+  }
+}
+
+/// The ATD's u64 tag scan is tier-dispatched too: identical observation
+/// streams under every tier.
+TEST(AtdDispatch, ObservationsTierInvariant) {
+  const cache::Geometry l2{.size_bytes = 256 * 16 * 64, .associativity = 16,
+                           .line_bytes = 64};
+  constexpr std::uint32_t kSampling = 8;
+  std::vector<cache::Addr> lines(20000);
+  Rng rng(0x77);
+  for (auto& a : lines) a = rng.next_below(64 * l2.lines());
+
+  const auto prev = cache::active_dispatch_tier();
+  std::vector<std::unique_ptr<core::Atd>> atds;
+  for (const auto tier : available_tiers()) {
+    cache::set_active_dispatch_tier(tier);
+    atds.push_back(std::make_unique<core::Atd>(l2, ReplacementKind::kLru, kSampling));
+  }
+  cache::set_active_dispatch_tier(prev);
+
+  for (const auto a : lines) {
+    const auto base = atds.front()->access(a);
+    for (std::size_t i = 1; i < atds.size(); ++i) {
+      const auto obs = atds[i]->access(a);
+      ASSERT_EQ(base.has_value(), obs.has_value()) << "addr " << a;
+      if (base) {
+        ASSERT_EQ(base->hit, obs->hit) << "addr " << a;
+        ASSERT_EQ(base->way, obs->way) << "addr " << a;
+        ASSERT_EQ(base->estimate.lo, obs->estimate.lo) << "addr " << a;
+        ASSERT_EQ(base->estimate.hi, obs->estimate.hi) << "addr " << a;
+        ASSERT_EQ(base->estimate.point, obs->estimate.point) << "addr " << a;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plrupart
