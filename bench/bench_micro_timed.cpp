@@ -1,0 +1,140 @@
+// google-benchmark microbenchmarks for the timed-simulation overlay: the
+// event-queue heap ops that every bank service rides on, the MSHR
+// allocate/fill/retire transaction that every L2 miss pays, and the end-to-end
+// per-instruction cost of `--timing timed` relative to the functional replay.
+//
+// The last series is the one the snapshot ratchet watches: the timed overlay
+// is opt-in precisely because it is slower, and this pins down by how much.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plrupart/cache/geometry.hpp"
+#include "plrupart/sim/cmp_simulator.hpp"
+#include "plrupart/sim/event_queue.hpp"
+#include "plrupart/sim/timed_memory.hpp"
+#include "plrupart/workloads/catalog.hpp"
+#include "plrupart/workloads/generators.hpp"
+
+using namespace plrupart;
+
+namespace {
+
+cache::Geometry bench_l2_geo() {
+  return cache::Geometry{.size_bytes = 256 * 1024, .associativity = 16,
+                         .line_bytes = 128};
+}
+
+/// Steady-state heap cycle at a held queue depth: one schedule + one pop per
+/// iteration against `depth` resident events. This is the per-event floor of
+/// the whole timed mode — every DRAM bank service is at least two of these.
+void BM_EventQueueCycle(benchmark::State& state) {
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  sim::EventQueue q;
+  std::uint64_t tick = 0;
+  for (std::uint64_t i = 0; i < depth; ++i)
+    q.schedule(tick + 1 + i, sim::EventKind::kUser, 0, i);
+  for (auto _ : state) {
+    const sim::TimedEvent ev = q.pop();
+    tick = ev.tick;
+    q.schedule(tick + depth + 1, sim::EventKind::kUser, 0, ev.payload);
+    benchmark::DoNotOptimize(ev.payload);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(std::to_string(depth) + "deep");
+}
+
+/// Full miss transaction — MSHR allocate, bank enqueue/service, retire — on a
+/// unique-line stream (no coalescing), across the banked DRAM. Per-item cost
+/// here multiplies every L2 miss of a timed run.
+void BM_TimedMemoryMissRetire(benchmark::State& state) {
+  sim::TimedParams params;
+  params.dram_banks = static_cast<std::uint32_t>(state.range(0));
+  const auto geo = bench_l2_geo();
+  sim::TimedMemory mem(params, geo);
+  std::uint64_t t = 0;
+  cache::Addr line = 0;
+  std::uint32_t way = 0;
+  for (auto _ : state) {
+    const auto ticket = mem.miss(t, line, way, false, false, 0);
+    t = mem.retire(ticket);
+    line += 7;  // coprime stride: walks banks, rows, and sets
+    way = (way + 1) & (geo.associativity - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(std::to_string(params.dram_banks) + "bank");
+}
+
+/// The coalescing window: a second miss to a line whose fill is in flight
+/// merges into the pending MSHR instead of issuing a new DRAM read. Each
+/// iteration is one miss + one coalesced merge + two retires.
+void BM_TimedMemoryCoalescedMiss(benchmark::State& state) {
+  const sim::TimedParams params;
+  const auto geo = bench_l2_geo();
+  sim::TimedMemory mem(params, geo);
+  std::uint64_t t = 0;
+  cache::Addr line = 0;
+  for (auto _ : state) {
+    const auto first = mem.miss(t, line, 0, false, false, 0);
+    const auto merged = mem.miss(t, line, 0, false, false, 0);
+    (void)mem.retire(merged);
+    t = mem.retire(first);
+    line += 7;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (mem.stats().mshr_coalesced !=
+      static_cast<std::uint64_t>(state.iterations()))
+    state.SkipWithError("coalescing did not engage");
+}
+
+/// End-to-end replay cost per simulated instruction, functional vs timed, on
+/// one Table II two-thread workload. The ratio of these two series is the
+/// price of `--timing timed`.
+void BM_ReplayPerInstruction(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? sim::TimingMode::kFunctional
+                                        : sim::TimingMode::kTimed;
+  constexpr std::uint64_t kInstr = 40'000;
+  const std::vector<std::string> benchmarks{"twolf", "art"};
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::SimConfig cfg;
+    cfg.hierarchy.l1d =
+        cache::Geometry{.size_bytes = 4 * 1024, .associativity = 2, .line_bytes = 128};
+    cfg.hierarchy.l2 = core::CpaConfig::from_acronym(
+        "M-BT", static_cast<std::uint32_t>(benchmarks.size()), bench_l2_geo());
+    cfg.hierarchy.l2.interval_cycles = 25'000;
+    cfg.hierarchy.l2.sampling_ratio = 8;
+    cfg.hierarchy.l2.seed = 42;
+    cfg.instr_limit = kInstr;
+    cfg.warmup_instr = kInstr / 4;
+    cfg.timing_mode = mode;
+    std::vector<std::unique_ptr<sim::TraceSource>> traces;
+    for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+      const auto& prof = workloads::benchmark(benchmarks[i]);
+      cfg.cores.push_back(prof.core);
+      traces.push_back(workloads::make_trace(prof, static_cast<std::uint32_t>(i), 42));
+    }
+    sim::CmpSimulator sim(std::move(cfg), std::move(traces));
+    const auto result = sim.run();
+    instructions += result.total_instructions();
+    benchmark::DoNotOptimize(result.wall_cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+  state.SetLabel(to_string(mode));
+}
+
+}  // namespace
+
+BENCHMARK(BM_EventQueueCycle)->Arg(4)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_TimedMemoryMissRetire)->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_TimedMemoryCoalescedMiss)->Unit(benchmark::kNanosecond);
+// 0 = functional baseline, 1 = timed overlay; compare items/s across the two.
+BENCHMARK(BM_ReplayPerInstruction)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

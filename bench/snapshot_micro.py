@@ -26,6 +26,7 @@ MICRO_BENCHES = (
     "bench_micro_policies",
     "bench_micro_profiling",
     "bench_micro_shard",
+    "bench_micro_timed",
     "bench_micro_trace",
 )
 

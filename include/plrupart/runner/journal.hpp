@@ -76,6 +76,10 @@ class PLRUPART_EXPORT RunJournal {
 
   std::filesystem::path dir_;
   std::uint64_t fingerprint_ = 0;
+  /// Timing mode of the job list (uniform across a matrix): picks the final
+  /// CSV's schema. Also folded into fingerprint_, so a functional journal can
+  /// never be resumed as a timed sweep or vice versa.
+  sim::TimingMode timing_ = sim::TimingMode::kFunctional;
   std::vector<std::uint64_t> job_indices_;  ///< canonical index per position
   std::vector<std::string> keys_;           ///< RunSpec::key per position
   std::vector<bool> complete_;

@@ -41,6 +41,11 @@ struct PLRUPART_EXPORT RunSpec {
   /// 0 = hardware concurrency. Results are identical at any value, so this is
   /// a performance knob, not part of the job's identity (key() ignores it).
   std::uint32_t sim_threads = 1;
+  /// Timing mode (SimConfig::timing_mode). Unlike sim_threads this IS part of
+  /// the job's identity — timed results carry extra columns and different
+  /// cycle counts — so jobs_fingerprint folds it in (timed jobs only, keeping
+  /// every pre-timed functional journal fingerprint unchanged).
+  sim::TimingMode timing = sim::TimingMode::kFunctional;
 
   /// Human-readable job key, unique within one matrix:
   /// "<workload>|<config>|<l2 KB>".
@@ -90,6 +95,7 @@ struct PLRUPART_EXPORT RunMatrix {
   std::uint32_t sampling_ratio = 32;
   std::uint64_t seed = 1;  ///< root seed; per-job seeds derive from it
   std::uint32_t sim_threads = 1;  ///< intra-run set-shard workers per job
+  sim::TimingMode timing = sim::TimingMode::kFunctional;  ///< all jobs' timing mode
 
   /// Number of jobs in the full matrix.
   [[nodiscard]] std::size_t size() const noexcept {

@@ -90,6 +90,13 @@ class PLRUPART_EXPORT SweepExecutor {
 /// full-matrix index — the job key the merge step sorts and dedups on.
 [[nodiscard]] PLRUPART_EXPORT const std::vector<std::string>& sweep_csv_header();
 
+/// Mode-aware schema: functional mode is the exact classic header above
+/// (byte-identical output guarantee); timed mode appends the timed-overlay
+/// columns (DRAM traffic, row-buffer outcomes, MSHR occupancy/stalls, and
+/// bytes-per-cycle DRAM bandwidth — job-global, repeated on each core row).
+[[nodiscard]] PLRUPART_EXPORT const std::vector<std::string>& sweep_csv_header(
+    sim::TimingMode mode);
+
 /// Emit one row per (job, core) in the given order.
 PLRUPART_EXPORT void write_csv(std::ostream& os, const std::vector<JobResult>& results);
 

@@ -21,6 +21,7 @@
 #include "plrupart/common/fault_inject.hpp"
 #include "plrupart/sim/memory_hierarchy.hpp"
 #include "plrupart/sim/mem_op.hpp"
+#include "plrupart/sim/timed_memory.hpp"
 
 namespace plrupart::sim {
 
@@ -58,6 +59,13 @@ struct PLRUPART_EXPORT SimConfig {
   /// faults are armed by the caller on each TraceSource; see
   /// FileTraceSource::set_fault_plan.
   std::shared_ptr<const FaultPlan> faults;
+  /// Timed mode (opt-in): overlay the functional replay with the event-driven
+  /// MSHR/writeback/banked-DRAM model. The L2 access stream — and with it
+  /// every per-interval partition decision — is identical to functional mode
+  /// by construction; only the cycle accounting (and the extra TimedStats)
+  /// differ. Timed runs are always serial (sim_threads is ignored).
+  TimingMode timing_mode = TimingMode::kFunctional;
+  TimedParams timed;  ///< knobs of the timed overlay (timing_mode == kTimed)
 };
 
 struct PLRUPART_EXPORT ThreadResult {
@@ -74,6 +82,8 @@ struct PLRUPART_EXPORT SimResult {
   std::uint64_t repartitions = 0;  ///< interval-controller activations
   std::string l2_config;           ///< acronym of the L2 configuration
   std::uint32_t sim_shards = 1;    ///< set-shard workers the run actually used
+  TimingMode timing = TimingMode::kFunctional;  ///< mode that produced this result
+  TimedStats timed;  ///< measured-window deltas; all-zero in functional mode
 
   [[nodiscard]] double throughput() const {
     double t = 0.0;
@@ -113,6 +123,7 @@ class PLRUPART_EXPORT CmpSimulator {
 
  private:
   [[nodiscard]] SimResult run_serial();
+  [[nodiscard]] SimResult run_timed();
 
   SimConfig config_;
   std::vector<std::unique_ptr<TraceSource>> traces_;

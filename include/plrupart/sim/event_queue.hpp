@@ -1,0 +1,70 @@
+// Monotone discrete-event queue: the spine of the timed simulation mode.
+//
+// A binary min-heap ordered by (tick, sequence). The sequence number is
+// assigned at schedule time, so events sharing a tick pop in exactly the
+// order they were scheduled — a deterministic FIFO tie-break that does not
+// depend on heap internals, pointer values, or anything else the platform
+// could vary. Popping is monotone: a pop never yields a tick smaller than an
+// already-popped one (enforced, not assumed), which is what lets the timed
+// memory model treat "process everything up to t" as a watertight phase.
+#pragma once
+
+#include "plrupart/export.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace plrupart::sim {
+
+/// What a scheduled event means to the timed memory model. The queue itself
+/// is payload-agnostic; these kinds exist so one queue can serve every
+/// subsystem without type erasure.
+enum class EventKind : std::uint8_t {
+  kBankService,     ///< a DRAM bank finished its in-service request
+  kMshrComplete,    ///< an L2 miss's fill data arrived (MSHR releases)
+  kWritebackDrain,  ///< a writeback left the bounded writeback queue
+  kUser,            ///< free for tests and future subsystems
+};
+
+struct PLRUPART_EXPORT TimedEvent {
+  std::uint64_t tick = 0;  ///< simulated cycle the event fires at
+  std::uint64_t seq = 0;   ///< schedule order; the FIFO tie-break within a tick
+  EventKind kind = EventKind::kUser;
+  std::uint32_t lane = 0;     ///< subsystem index (bank id, MSHR slot, ...)
+  std::uint64_t payload = 0;  ///< kind-specific argument
+};
+
+class PLRUPART_EXPORT EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedule an event. `tick` may not precede the monotone floor (the tick
+  /// of the latest pop): an event in the popped past could never fire.
+  void schedule(std::uint64_t tick, EventKind kind, std::uint32_t lane,
+                std::uint64_t payload = 0);
+
+  /// The earliest pending event (by (tick, seq)). Queue must be non-empty.
+  [[nodiscard]] const TimedEvent& peek() const;
+
+  /// Remove and return the earliest pending event; advances the monotone
+  /// floor to its tick.
+  TimedEvent pop();
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Tick of the most recently popped event: the time before which nothing
+  /// can be scheduled anymore. Starts at 0.
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+  /// Total events scheduled over the queue's lifetime (also the next seq).
+  [[nodiscard]] std::uint64_t scheduled() const noexcept { return next_seq_; }
+
+ private:
+  std::vector<TimedEvent> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace plrupart::sim

@@ -36,6 +36,18 @@ struct PLRUPART_EXPORT HierarchyCounters {
   std::uint64_t l2_misses = 0;
 };
 
+/// What the shared L2 saw during one hierarchy access — everything the timed
+/// overlay needs to charge cycles without re-deriving cache state. Filled only
+/// when the access misses L1 (reached_l2); line/way/eviction fields mirror the
+/// L2's AccessOutcome at line granularity.
+struct PLRUPART_EXPORT L2Echo {
+  bool reached_l2 = false;  ///< the access missed L1 and probed the L2
+  bool hit = false;         ///< L2 hit (reached_l2 only)
+  std::uint32_t way = 0;    ///< way touched or filled
+  bool evicted_valid = false;
+  cache::Addr evicted_line = 0;  ///< line-granular victim address
+};
+
 class PLRUPART_EXPORT MemoryHierarchy {
  public:
   explicit MemoryHierarchy(HierarchyConfig config);
@@ -43,6 +55,12 @@ class PLRUPART_EXPORT MemoryHierarchy {
   /// One data access by `core`; returns the level that satisfied it.
   AccessLevel access(cache::CoreId core, cache::Addr addr, bool write,
                      std::uint64_t now_cycles);
+
+  /// Same access, echoing the L2 outcome for the timed overlay. The
+  /// functional side effects are identical to the plain overload (this IS the
+  /// plain overload plus an out-parameter).
+  AccessLevel access(cache::CoreId core, cache::Addr addr, bool write,
+                     std::uint64_t now_cycles, L2Echo& echo);
 
   [[nodiscard]] const HierarchyConfig& config() const noexcept { return config_; }
   [[nodiscard]] core::PartitionedCacheSystem& l2() noexcept { return *l2_; }

@@ -64,6 +64,12 @@ RunJournal::RunJournal(std::filesystem::path dir, const std::vector<RunSpec>& jo
                        bool resume)
     : dir_(std::move(dir)), fingerprint_(jobs_fingerprint(jobs)) {
   PLRUPART_ASSERT_MSG(!jobs.empty(), "journal needs a non-empty job list");
+  timing_ = jobs.front().timing;
+  for (const auto& j : jobs) {
+    PLRUPART_ASSERT_MSG(j.timing == timing_,
+                        "journaled job list mixes timing modes (one CSV schema per "
+                        "sweep)");
+  }
   job_indices_.reserve(jobs.size());
   keys_.reserve(jobs.size());
   for (const auto& j : jobs) {
@@ -215,7 +221,7 @@ void RunJournal::write_final_csv(std::ostream& os) const {
                                               ") has no journal record");
     }
   }
-  const auto& header = sweep_csv_header();
+  const auto& header = sweep_csv_header(timing_);
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i > 0) os << ',';
     os << header[i];

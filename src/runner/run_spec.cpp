@@ -32,6 +32,7 @@ sim::SimResult execute(const RunSpec& spec, const ExecuteControls& controls) {
   cfg.instr_limit = spec.instr;
   cfg.warmup_instr = spec.warmup;
   cfg.sim_threads = spec.sim_threads;
+  cfg.timing_mode = spec.timing;
   cfg.timeout_s = controls.timeout_s;
   cfg.faults = controls.faults;
 
@@ -87,6 +88,9 @@ std::uint64_t jobs_fingerprint(const std::vector<RunSpec>& jobs) {
     acc += std::to_string(s.instr) + ',' + std::to_string(s.warmup) + ',' +
            std::to_string(s.interval_cycles) + ',' + std::to_string(s.sampling_ratio) +
            ',' + std::to_string(s.seed);
+    // Timed-only marker: functional jobs serialize exactly as before this
+    // field existed, so every pre-timed journal fingerprint stays valid.
+    if (s.timing == sim::TimingMode::kTimed) acc += "|timed";
     acc += '\n';
     h = fnv1a64(acc, h);
   }
@@ -118,6 +122,7 @@ std::vector<RunSpec> RunMatrix::expand() const {
         s.sampling_ratio = sampling_ratio;
         s.seed = row_seed;
         s.sim_threads = sim_threads;
+        s.timing = timing;
         PLRUPART_ASSERT(s.job_index == jobs.size());
         jobs.push_back(std::move(s));
       }

@@ -33,7 +33,13 @@ void log_progress(const JobResult& jr, std::size_t n, std::size_t total, double 
   std::uint64_t accesses = 0;
   for (const auto& th : jr.result.threads) accesses += th.mem.l1_accesses;
   const double rate = secs > 0.0 ? static_cast<double>(accesses) / secs : 0.0;
-  if (jr.result.sim_shards > 1) {
+  if (jr.result.timing == sim::TimingMode::kTimed) {
+    // Timed runs report simulated cycle throughput too — acc/s alone would
+    // misleadingly undersell the (slower, event-driven) timed path.
+    const double cyc_rate = secs > 0.0 ? jr.result.wall_cycles / secs : 0.0;
+    std::fprintf(stderr, "plrupart: [%zu/%zu] %s done (%.1fM acc/s, %.1fM cyc/s)\n", n,
+                 total, jr.spec.key().c_str(), rate / 1e6, cyc_rate / 1e6);
+  } else if (jr.result.sim_shards > 1) {
     // Rate is the aggregate across the job's intra-run shard workers;
     // surface the shard count so scaling is visible in the field.
     std::fprintf(stderr, "plrupart: [%zu/%zu] %s done (%.1fM acc/s, %u shards)\n", n,
@@ -163,6 +169,18 @@ const std::vector<std::string>& sweep_csv_header() {
   return header;
 }
 
+const std::vector<std::string>& sweep_csv_header(sim::TimingMode mode) {
+  if (mode == sim::TimingMode::kFunctional) return sweep_csv_header();
+  static const std::vector<std::string> timed_header = [] {
+    std::vector<std::string> h = sweep_csv_header();
+    h.insert(h.end(), {"dram_reads", "dram_writebacks", "row_hits", "row_misses",
+                       "bank_conflicts", "mshr_coalesced", "mshr_full_stalls",
+                       "wb_full_stalls", "mshr_peak", "dram_bytes", "dram_bw"});
+    return h;
+  }();
+  return timed_header;
+}
+
 namespace {
 
 /// The single row-formatting path: write_csv and the journal both emit
@@ -177,24 +195,45 @@ void append_job_rows(CsvWriter& csv, const JobResult& jr) {
         th.mem.l2_accesses ? static_cast<double>(th.mem.l2_misses) /
                                  static_cast<double>(th.mem.l2_accesses)
                            : 0.0;
-    csv.row_of(s.job_index, s.workload.id, s.config, s.l2.size_bytes / 1024, s.seed,
-               core, th.benchmark, th.instructions, th.cycles, th.ipc,
-               th.mem.l1_accesses, th.mem.l1_misses, th.mem.l2_accesses,
-               th.mem.l2_misses, miss_rate, r.throughput(), r.wall_cycles,
-               r.repartitions);
+    if (r.timing == sim::TimingMode::kTimed) {
+      // Timed schema: classic columns plus the overlay counters (job-global,
+      // repeated on each core row so every row is self-contained).
+      const auto& ts = r.timed;
+      const double bw = r.wall_cycles > 0.0
+                            ? static_cast<double>(ts.dram_bytes) / r.wall_cycles
+                            : 0.0;
+      csv.row_of(s.job_index, s.workload.id, s.config, s.l2.size_bytes / 1024, s.seed,
+                 core, th.benchmark, th.instructions, th.cycles, th.ipc,
+                 th.mem.l1_accesses, th.mem.l1_misses, th.mem.l2_accesses,
+                 th.mem.l2_misses, miss_rate, r.throughput(), r.wall_cycles,
+                 r.repartitions, ts.dram_reads, ts.dram_writebacks, ts.row_hits,
+                 ts.row_misses, ts.bank_conflicts, ts.mshr_coalesced,
+                 ts.mshr_full_stalls, ts.wb_full_stalls, ts.mshr_peak, ts.dram_bytes,
+                 bw);
+    } else {
+      csv.row_of(s.job_index, s.workload.id, s.config, s.l2.size_bytes / 1024, s.seed,
+                 core, th.benchmark, th.instructions, th.cycles, th.ipc,
+                 th.mem.l1_accesses, th.mem.l1_misses, th.mem.l2_accesses,
+                 th.mem.l2_misses, miss_rate, r.throughput(), r.wall_cycles,
+                 r.repartitions);
+    }
   }
 }
 
 }  // namespace
 
 void write_csv(std::ostream& os, const std::vector<JobResult>& results) {
-  CsvWriter csv(os, sweep_csv_header());
+  // One header per file: the mode is uniform across a sweep (RunMatrix carries
+  // one timing field). A mixed list would trip CsvWriter's width check.
+  const sim::TimingMode mode =
+      results.empty() ? sim::TimingMode::kFunctional : results.front().result.timing;
+  CsvWriter csv(os, sweep_csv_header(mode));
   for (const auto& jr : results) append_job_rows(csv, jr);
 }
 
 std::string sweep_csv_rows(const JobResult& result) {
   std::ostringstream ss;
-  CsvWriter csv(ss, sweep_csv_header().size(), CsvWriter::NoHeader{});
+  CsvWriter csv(ss, sweep_csv_header(result.result.timing).size(), CsvWriter::NoHeader{});
   append_job_rows(csv, result);
   return ss.str();
 }
@@ -202,9 +241,9 @@ std::string sweep_csv_rows(const JobResult& result) {
 namespace {
 
 /// CSV header line of the sweep schema ("job,workload,...").
-std::string header_line() {
+std::string header_line(sim::TimingMode mode = sim::TimingMode::kFunctional) {
   std::string line;
-  for (const auto& col : sweep_csv_header()) {
+  for (const auto& col : sweep_csv_header(mode)) {
     if (!line.empty()) line += ',';
     line += col;
   }
@@ -238,7 +277,9 @@ void merge_csv_streams(const std::vector<std::istream*>& shards,
                        const std::vector<std::string>& names, std::ostream& os) {
   PLRUPART_ASSERT_MSG(!shards.empty(), "merge needs at least one shard CSV");
   PLRUPART_ASSERT(shards.size() == names.size());
-  const std::string expected_header = header_line();
+  // Either schema merges — functional or timed — but never a mix: the first
+  // shard's header picks the schema and every other shard must match it.
+  std::string expected_header;
 
   std::vector<ParsedRow> rows;
   for (std::size_t si = 0; si < shards.size(); ++si) {
@@ -246,6 +287,13 @@ void merge_csv_streams(const std::vector<std::istream*>& shards,
     std::string line;
     PLRUPART_ASSERT_MSG(static_cast<bool>(std::getline(in, line)),
                         "shard '" + names[si] + "' is empty");
+    if (si == 0) {
+      PLRUPART_ASSERT_MSG(line == header_line() ||
+                              line == header_line(sim::TimingMode::kTimed),
+                          "shard '" + names[si] + "' header does not match the sweep "
+                          "schema: got '" + line + "'");
+      expected_header = line;
+    }
     PLRUPART_ASSERT_MSG(line == expected_header,
                         "shard '" + names[si] + "' header does not match the sweep "
                         "schema: got '" + line + "'");

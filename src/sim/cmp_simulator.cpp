@@ -33,6 +33,8 @@ SimResult CmpSimulator::run() {
   }
   ran_ = true;
 
+  if (config_.timing_mode == TimingMode::kTimed) return run_timed();
+
   const std::uint32_t shards = internal::resolve_sim_shards(config_);
   if (shards > 1) {
     return internal::run_set_sharded(config_, traces_, *hierarchy_, shards);

@@ -1,0 +1,48 @@
+#include "plrupart/sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "plrupart/common/assert.hpp"
+
+namespace plrupart::sim {
+
+namespace {
+
+/// Min-heap order on (tick, seq). Every event's (tick, seq) pair is unique
+/// (seq increments monotonically), so this is a strict total order and the
+/// pop sequence is fully determined by the schedule sequence — no tie can
+/// ever be broken by heap layout.
+struct Later {
+  [[nodiscard]] bool operator()(const TimedEvent& a, const TimedEvent& b) const noexcept {
+    if (a.tick != b.tick) return a.tick > b.tick;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+void EventQueue::schedule(std::uint64_t tick, EventKind kind, std::uint32_t lane,
+                          std::uint64_t payload) {
+  PLRUPART_ASSERT_MSG(tick >= now_,
+                      "event scheduled at tick " + std::to_string(tick) +
+                          " behind the monotone floor " + std::to_string(now_));
+  heap_.push_back(TimedEvent{tick, next_seq_++, kind, lane, payload});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+const TimedEvent& EventQueue::peek() const {
+  PLRUPART_ASSERT_MSG(!heap_.empty(), "peek on an empty event queue");
+  return heap_.front();
+}
+
+TimedEvent EventQueue::pop() {
+  PLRUPART_ASSERT_MSG(!heap_.empty(), "pop on an empty event queue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  TimedEvent ev = heap_.back();
+  heap_.pop_back();
+  PLRUPART_ASSERT_MSG(ev.tick >= now_, "event queue popped backwards in time");
+  now_ = ev.tick;
+  return ev;
+}
+
+}  // namespace plrupart::sim

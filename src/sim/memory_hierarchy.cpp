@@ -20,8 +20,15 @@ MemoryHierarchy::MemoryHierarchy(HierarchyConfig config) : config_(std::move(con
 
 AccessLevel MemoryHierarchy::access(cache::CoreId core, cache::Addr addr, bool write,
                                     std::uint64_t now_cycles) {
+  L2Echo echo;
+  return access(core, addr, write, now_cycles, echo);
+}
+
+AccessLevel MemoryHierarchy::access(cache::CoreId core, cache::Addr addr, bool write,
+                                    std::uint64_t now_cycles, L2Echo& echo) {
   PLRUPART_ASSERT(core < l1d_.size());
   HierarchyCounters& ctr = counters_[core];
+  echo = L2Echo{};
 
   ++ctr.l1_accesses;
   const auto l1 = l1d_[core]->access(0, addr, write);
@@ -30,6 +37,11 @@ AccessLevel MemoryHierarchy::access(cache::CoreId core, cache::Addr addr, bool w
   ++ctr.l1_misses;
   ++ctr.l2_accesses;
   const auto l2 = l2_->access(core, addr, write, now_cycles);
+  echo.reached_l2 = true;
+  echo.hit = l2.hit;
+  echo.way = l2.way;
+  echo.evicted_valid = l2.evicted_valid;
+  echo.evicted_line = l2.evicted_line;
   if (l2.hit) return AccessLevel::kL2;
 
   ++ctr.l2_misses;

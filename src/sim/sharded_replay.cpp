@@ -90,6 +90,9 @@ bool set_sharding_supported(const core::CpaConfig& l2) {
 }
 
 std::uint32_t resolve_sim_shards(const SimConfig& config) {
+  // The timed overlay's MSHR/DRAM state is cache-global (one event queue, one
+  // bank file), so timed runs are always serial.
+  if (config.timing_mode == TimingMode::kTimed) return 1;
   const std::uint64_t want = config.sim_threads == 0
                                  ? static_cast<std::uint64_t>(default_parallelism())
                                  : config.sim_threads;

@@ -33,6 +33,11 @@
 //   --sim-threads K    intra-run set-shard workers per job; 0 = hardware  [1]
 //   --progress         per-job completion lines on stderr
 //
+// Timing flags:
+//   --timing MODE      functional (default) or timed: the event-driven
+//                      MSHR/banked-DRAM overlay; partition decisions are
+//                      identical in both modes, timed adds CSV columns
+//
 // Resilience flags:
 //   --journal DIR      durable per-job journal; crash-safe atomic records
 //   --resume           skip jobs already journaled in --journal DIR
@@ -112,6 +117,9 @@ void print_usage() {
       "             --sim-threads K [1]  intra-run set-shard workers per job\n"
       "                                  (0 = all hardware threads; results are\n"
       "                                  byte-identical to serial at any K)\n"
+      "timing:      --timing MODE [functional]  functional | timed; timed runs the\n"
+      "                             event-driven MSHR/banked-DRAM overlay (same\n"
+      "                             partition decisions, extra CSV columns)\n"
       "resilience:  --journal DIR   crash-safe per-job journal (atomic records)\n"
       "             --resume        continue a journaled sweep, skipping done jobs\n"
       "             --job-retries N [0]  extra attempts for transient failures\n"
@@ -201,6 +209,7 @@ runner::RunMatrix parse_matrix(const Cli& cli) {
   m.seed = get_count(cli, "--seed", 1, 0);
   m.sim_threads = static_cast<std::uint32_t>(
       get_count(cli, "--sim-threads", 1, 0, kU32Max));
+  m.timing = sim::timing_mode_from_string(cli.get_string("--timing", "functional"));
   return m;
 }
 
@@ -374,7 +383,7 @@ bool check_args(int argc, char** argv) {
       "--workload", "--benchmarks", "--config",   "--configs",  "--instr",
       "--warmup",   "--l2-kb",      "--l2-kb-sweep", "--assoc", "--line",
       "--interval", "--sampling",   "--seed",     "--csv",      "--threads",
-      "--shard",    "--merge-csv",  "--trace",    "--sim-threads",
+      "--shard",    "--merge-csv",  "--trace",    "--sim-threads", "--timing",
       "--journal",  "--job-retries", "--retry-backoff-ms", "--job-timeout",
       "--fault-inject"};
   static constexpr std::string_view kBoolFlags[] = {"--help",         "-h",

@@ -257,6 +257,35 @@ TEST(SweepExecutorStress, EmptyJobListIsANoop) {
   EXPECT_TRUE(ex.run({}).empty());
 }
 
+TEST(SweepExecutorStress, TimedProgressLinesReportSimulatedCycleRate) {
+  // Timed jobs are much slower per access than functional ones, so an
+  // acc/s-only progress line would read as a regression; the line must carry
+  // the simulated cycle rate alongside.
+  runner::RunMatrix m = stress_matrix();
+  m.configs = {"M-0.75N"};
+  m.workloads.resize(1);
+  m.l2_kb = {128};
+  m.timing = sim::TimingMode::kTimed;
+  const auto jobs = m.expand();
+  const runner::SweepExecutor ex({.threads = 1, .progress = true});
+  ::testing::internal::CaptureStderr();
+  const auto results = ex.run(jobs);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  ASSERT_EQ(results.size(), jobs.size());
+
+  std::istringstream is(err);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    ASSERT_TRUE(line.starts_with("plrupart: [")) << "mangled line: " << line;
+    EXPECT_NE(line.find("M acc/s, "), std::string::npos) << "line: " << line;
+    EXPECT_TRUE(line.ends_with("M cyc/s)")) << "line: " << line;
+  }
+  EXPECT_EQ(lines, jobs.size());
+}
+
 // --- Intra-run set-sharded parallelism under contention ---------------------
 
 /// Like stress_matrix(), but with a pseudo-LRU partitioned config (the
